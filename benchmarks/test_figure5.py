@@ -1,0 +1,68 @@
+"""Benchmark: regenerate Figure 5 (the §4.5 ablation study).
+
+Shape check: the full AutoMC dominates each of its four ablated variants on
+final hypervolume / best feasible accuracy (allowing noise-level slack).
+"""
+
+import pytest
+
+from repro.experiments import run_figure5
+
+from .conftest import write_report
+
+
+@pytest.fixture(scope="module")
+def figure5(config):
+    return run_figure5(config)
+
+
+def test_figure5_report(benchmark, figure5):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    write_report("figure5.txt", figure5.format())
+
+
+def test_full_automc_dominates_variants(benchmark, config, figure5):
+    """The paper's §4.5 claim: removing components hurts.
+
+    The margins between the knowledge variants are fractions of a point, so
+    strict near-dominance is only asserted at paper-scale budgets
+    (REPRO_BENCH_HOURS >= 25); at quicker budgets search noise swamps them
+    and only the large, robust effect — progressive search beats the RL
+    controller — is checked.
+    """
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for exp in ("Exp1", "Exp2"):
+        full = figure5.of(exp, "AutoMC")
+        assert full is not None
+        non_progressive = figure5.of(exp, "AutoMC-ProgressiveSearch")
+        assert non_progressive is not None
+        assert full.best_accuracy >= non_progressive.best_accuracy - 0.002, (
+            f"{exp}: progressive search lost to the RL variant"
+        )
+        if config.budget_hours < 25:
+            continue
+        wins = 0
+        for variant in (
+            "AutoMC-KG",
+            "AutoMC-NNexp",
+            "AutoMC-MultipleSource",
+            "AutoMC-ProgressiveSearch",
+        ):
+            ablated = figure5.of(exp, variant)
+            assert ablated is not None
+            if full.best_accuracy >= ablated.best_accuracy - 0.002:
+                wins += 1
+        assert wins >= 3, f"{exp}: AutoMC only matched {wins}/4 variants"
+
+
+def test_multiple_source_worst_on_quality(benchmark, config, figure5):
+    """The single-method space cannot combine methods, so its best feasible
+    scheme trails the multi-source one (asserted at paper-scale budgets,
+    see test_full_automc_dominates_variants)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if config.budget_hours < 25:
+        pytest.skip("needs REPRO_BENCH_HOURS >= 25 for stable margins")
+    for exp in ("Exp1", "Exp2"):
+        full = figure5.of(exp, "AutoMC")
+        single = figure5.of(exp, "AutoMC-MultipleSource")
+        assert full.best_accuracy >= single.best_accuracy - 0.002

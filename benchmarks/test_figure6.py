@@ -1,0 +1,44 @@
+"""Benchmark: regenerate Figure 6 (the schemes AutoMC searched).
+
+Shape checks: the best schemes are multi-step, mix more than one
+compression method, and satisfy the PR >= gamma constraint — the three
+properties the paper's Figure 6 exhibits.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_figure6
+
+from .conftest import write_report
+
+
+@pytest.fixture(scope="module")
+def figure6(config, table2_result):
+    return run_figure6(
+        config,
+        searches={exp: table2_result.search_results[exp]["AutoMC"] for exp in EXPERIMENTS},
+    )
+
+
+def test_figure6_report(benchmark, figure6):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    write_report("figure6.txt", figure6.format())
+
+
+def test_schemes_meet_target(benchmark, figure6):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert figure6.schemes, "AutoMC found no feasible schemes"
+    for scheme in figure6.schemes:
+        assert scheme.result.pr >= 0.3
+
+
+def test_schemes_are_compositions(benchmark, figure6):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """Figure 6's schemes chain multiple strategies (that is AutoMC's point)."""
+    assert any(s.result.scheme.length >= 2 for s in figure6.schemes)
+
+
+def test_format_lists_steps(benchmark, figure6):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    text = figure6.format()
+    assert "step 1" in text

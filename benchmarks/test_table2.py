@@ -1,0 +1,100 @@
+"""Benchmark: regenerate Table 2 (compression results on Exp1 and Exp2).
+
+Checks the paper's qualitative shape, not its absolute numbers:
+
+* every human method loses accuracy at PR 70 relative to PR 40 (except LFB
+  on ResNet-56, which the paper also shows improving);
+* LMA collapses when used standalone; LeGR is the gentlest at PR 40;
+* AutoMC's best feasible scheme beats every human method and every AutoML
+  baseline on accuracy within its block.
+"""
+
+import pytest
+
+from .conftest import write_report
+
+
+@pytest.fixture(scope="module")
+def table2(table2_result):
+    return table2_result
+
+
+def test_table2_report(benchmark, table2):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    write_report("table2.txt", table2.format())
+    from repro.experiments.export import table2_to_dict, write_json
+
+    from .conftest import OUT_DIR
+
+    write_json(table2_to_dict(table2), str(OUT_DIR / "table2.json"))
+
+
+def test_paper_comparison_report(benchmark, table2):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    from repro.experiments import compare_table2, format_comparison
+
+    rows = compare_table2(table2)
+    write_report("table2_vs_paper.txt", format_comparison(rows))
+    # Human-method rows are anchored to the paper, so they must track it
+    # closely (the AutoML rows legitimately differ more — different search
+    # trajectories on a different substrate).
+    human = {"LMA", "LeGR", "NS", "SFP", "HOS", "LFB"}
+    deltas = [abs(r.delta) for r in rows if r.algorithm in human and r.delta is not None]
+    assert deltas, "no human rows measured"
+    assert sum(d < 3.0 for d in deltas) >= 0.8 * len(deltas), (
+        "human-method accuracies drifted from the paper anchors"
+    )
+
+
+def test_human_methods_rank_like_paper_exp1(benchmark, table2):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    block40 = {
+        row.algorithm: row.result
+        for row in table2.rows
+        if row.experiment == "Exp1" and row.block == "~40" and row.result
+    }
+    # LMA is by far the worst standalone method (paper: 79.61 vs 88+).
+    assert block40["LMA"].accuracy < min(
+        block40[m].accuracy for m in ("LeGR", "NS", "SFP", "HOS", "LFB")
+    ) - 0.02
+    # LeGR is the gentlest pruner at PR 40 (paper: 90.69).
+    assert block40["LeGR"].accuracy == max(
+        block40[m].accuracy for m in ("LeGR", "NS", "SFP", "LFB")
+    )
+
+
+def test_legr_hos_crossover(benchmark, table2):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """Paper §4.2: LeGR > HOS at PR 40 but HOS > LeGR at PR 70 (Exp1)."""
+    b40 = {r.algorithm: r.result for r in table2.rows
+           if r.experiment == "Exp1" and r.block == "~40" and r.result}
+    b70 = {r.algorithm: r.result for r in table2.rows
+           if r.experiment == "Exp1" and r.block == "~70" and r.result}
+    assert b40["LeGR"].accuracy > b40["HOS"].accuracy
+    assert b70["HOS"].accuracy > b70["LeGR"].accuracy
+
+
+def test_automc_beats_baselines(benchmark, table2):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """AutoMC's feasible scheme tops each experiment's ~40 block."""
+    for exp in ("Exp1", "Exp2"):
+        block = {
+            row.algorithm: row.result
+            for row in table2.rows
+            if row.experiment == exp and row.block == "~40" and row.result
+        }
+        automc = block.get("AutoMC")
+        assert automc is not None, f"AutoMC produced no feasible scheme on {exp}"
+        others = [acc for name, r in block.items() if name != "AutoMC"
+                  for acc in [r.accuracy]]
+        assert automc.accuracy >= max(others) - 0.004, (
+            f"{exp}: AutoMC {automc.accuracy:.4f} vs best other {max(others):.4f}"
+        )
+
+
+def test_automc_accuracy_above_baseline_exp1(benchmark, table2):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """The paper's headline: AutoMC *improves* accuracy while compressing."""
+    automc = table2.lookup("Exp1", "~40", "AutoMC")
+    assert automc is not None
+    assert automc.ar > 0.0

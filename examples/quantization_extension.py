@@ -1,0 +1,64 @@
+"""The C7 quantization extension (the paper's future-work direction).
+
+The paper's search space contains no quantization method, but names
+enriching the space as future work (§5).  This example enables the INQ-style
+C7 extension, quantizes a really-trained tiny model to power-of-two weights,
+and shows (a) the accuracy effect and (b) what the enlarged search space
+looks like.
+
+Run:  python examples/quantization_extension.py        (~1 minute)
+"""
+
+import copy
+
+import numpy as np
+
+from repro.compression import EXTENSION_METHODS, ExecutionContext
+from repro.data import tiny_dataset
+from repro.models import resnet8
+from repro.nn import Trainer, evaluate_accuracy
+from repro.space import StrategySpace
+
+
+def main() -> None:
+    data = tiny_dataset(num_classes=4, num_samples=160, image_size=8, seed=0)
+    train, val = data.split(0.75, seed=1)
+
+    model = resnet8(num_classes=4)
+    trainer = Trainer(lr=0.05, batch_size=32, seed=0)
+    trainer.fit(model, train, epochs=3)
+    base_acc = evaluate_accuracy(model, val)
+
+    for bits in (7, 5, 3):
+        quantized = copy.deepcopy(model)
+        ctx = ExecutionContext(
+            original_params=model.num_parameters(),
+            pretrain_epochs=3,
+            dataset=train,
+            val_dataset=val,
+            trainer=Trainer(lr=0.01, batch_size=32, seed=0),
+        )
+        report = EXTENSION_METHODS["C7"].apply(
+            quantized, {"HP1": 0.3, "HP17": bits, "HP18": 0.5}, ctx
+        )
+        acc = evaluate_accuracy(quantized, val)
+        weights = np.concatenate(
+            [p.data.ravel() for p in quantized.parameters() if p.ndim >= 2]
+        )
+        nonzero = weights[np.abs(weights) > 1e-12]
+        distinct = len(np.unique(np.abs(nonzero)))
+        print(
+            f"INQ {bits}-bit: accuracy {base_acc:.3f} -> {acc:.3f}, "
+            f"{distinct} distinct weight magnitudes, "
+            f"effective {report.details['effective_bits']:.0f} bits/weight"
+        )
+
+    # The enlarged search space simply gains the C7 strategies:
+    default = StrategySpace()
+    extended = StrategySpace(include_quantization=True)
+    print()
+    print(f"search space: {len(default)} strategies -> {len(extended)} with C7")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package, so PEP 517 editable
+installs (which need ``bdist_wheel``) fail.  Keeping a ``setup.py`` and no
+``[build-system]`` table in ``pyproject.toml`` makes ``pip install -e .``
+take the legacy ``setup.py develop`` path, which works offline.
+"""
+
+from setuptools import setup
+
+setup()

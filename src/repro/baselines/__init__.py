@@ -1,0 +1,16 @@
+"""AutoML baselines compared against AutoMC (§4.1)."""
+
+from .evolution import EvolutionSearch
+from .grid import GridSearchOutcome, run_all_human_methods, run_human_method
+from .random_search import RandomSearch
+from .rl import ControllerRNN, RLSearch
+
+__all__ = [
+    "ControllerRNN",
+    "EvolutionSearch",
+    "GridSearchOutcome",
+    "RLSearch",
+    "RandomSearch",
+    "run_all_human_methods",
+    "run_human_method",
+]

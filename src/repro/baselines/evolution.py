@@ -1,0 +1,134 @@
+"""Multi-objective evolutionary baseline (§4.1), NSGA-II style.
+
+A population of complete schemes evolves under non-dominated sorting with
+crowding-distance selection.  Variation operators: strategy replacement,
+hyperparameter-neighbour mutation, insertion, deletion, and one-point
+crossover.  Every offspring evaluation charges the shared simulated budget.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..core.pareto import crowding_distance, nondominated_sort
+from ..core.search import SearchResult, SearchStrategy
+from ..space.scheme import CompressionScheme
+
+
+class EvolutionSearch(SearchStrategy):
+    """NSGA-II over complete compression schemes."""
+
+    name = "Evolution"
+
+    def __init__(
+        self,
+        *args,
+        population_size: int = 16,
+        offspring_per_generation: int = 8,
+        **kwargs,
+    ):
+        super().__init__(*args, **kwargs)
+        self.population_size = population_size
+        self.offspring_per_generation = offspring_per_generation
+
+    # ------------------------------------------------------------------ #
+    def _mutate(self, scheme: CompressionScheme) -> CompressionScheme:
+        strategies = list(scheme.strategies)
+        op = self.rng.random()
+        if op < 0.35 and strategies:  # replace one strategy entirely
+            i = int(self.rng.integers(len(strategies)))
+            strategies[i] = self.space[int(self.rng.integers(len(self.space)))]
+        elif op < 0.65 and strategies:  # nudge one hyperparameter
+            i = int(self.rng.integers(len(strategies)))
+            strategies[i] = self.space.neighbor(strategies[i], self.rng)
+        elif op < 0.85 and len(strategies) < self.max_length:  # insert
+            i = int(self.rng.integers(len(strategies) + 1))
+            strategies.insert(i, self.space[int(self.rng.integers(len(self.space)))])
+        elif len(strategies) > 1:  # delete
+            i = int(self.rng.integers(len(strategies)))
+            del strategies[i]
+        mutated = CompressionScheme(tuple(strategies))
+        if mutated.total_param_step > 0.9 or mutated.is_empty:
+            return scheme
+        return mutated
+
+    def _crossover(self, a: CompressionScheme, b: CompressionScheme) -> CompressionScheme:
+        cut_a = int(self.rng.integers(0, a.length + 1))
+        cut_b = int(self.rng.integers(0, b.length + 1))
+        child = CompressionScheme(a.strategies[:cut_a] + b.strategies[cut_b:])
+        child = child.prefix(self.max_length)
+        if child.is_empty or child.total_param_step > 0.9:
+            return a
+        return child
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> SearchResult:
+        population: List[CompressionScheme] = []
+        while len(population) < self.population_size and self.budget_left() > 0:
+            scheme = self.random_scheme()
+            if not scheme.is_empty:
+                self.evaluator.evaluate(scheme)
+                population.append(scheme)
+        self.record()
+
+        while self.budget_left() > 0 and population:
+            results = [self.evaluator.evaluate(s) for s in population]
+            points = np.stack([r.objectives for r in results])
+
+            offspring: List[CompressionScheme] = []
+            for _ in range(self.offspring_per_generation):
+                if self.budget_left() <= 0:
+                    break
+                i, j = self.rng.integers(0, len(population), size=2)
+                # Binary tournament on domination rank then crowding.
+                parent = population[int(i)] if self._beats(points, int(i), int(j)) else population[int(j)]
+                if self.rng.random() < 0.3 and len(population) >= 2:
+                    other = population[int(self.rng.integers(len(population)))]
+                    child = self._crossover(parent, other)
+                else:
+                    child = self._mutate(parent)
+                self.evaluator.evaluate(child)
+                offspring.append(child)
+
+            merged = population + offspring
+            merged_results = [self.evaluator.evaluate(s) for s in merged]
+            merged_points = np.stack([r.objectives for r in merged_results])
+            population = self._environmental_selection(merged, merged_points)
+            self.record()
+
+        return self.finish()
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _beats(points: np.ndarray, i: int, j: int) -> bool:
+        a, b = points[i], points[j]
+        if np.all(a >= b) and np.any(a > b):
+            return True
+        if np.all(b >= a) and np.any(b > a):
+            return False
+        return bool(a[0] >= b[0])  # tie-break on AR
+
+    def _environmental_selection(
+        self, schemes: List[CompressionScheme], points: np.ndarray
+    ) -> List[CompressionScheme]:
+        selected: List[int] = []
+        for front in nondominated_sort(points):
+            if len(selected) + len(front) <= self.population_size:
+                selected.extend(int(i) for i in front)
+            else:
+                need = self.population_size - len(selected)
+                dist = crowding_distance(points[front])
+                order = np.argsort(-dist)[:need]
+                selected.extend(int(front[i]) for i in order)
+                break
+        # Deduplicate by identifier while preserving order.
+        seen = set()
+        unique: List[CompressionScheme] = []
+        for i in selected:
+            key = schemes[i].identifier
+            if key not in seen:
+                seen.add(key)
+                unique.append(schemes[i])
+        return unique

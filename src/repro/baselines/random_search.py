@@ -1,0 +1,30 @@
+"""Random Search baseline (§4.1) — uniform schemes from the tree S (L=5)."""
+
+from __future__ import annotations
+
+from ..core.search import SearchResult, SearchStrategy
+
+
+class RandomSearch(SearchStrategy):
+    """Evaluate uniformly random schemes until the budget runs out."""
+
+    name = "Random"
+
+    def __init__(self, *args, record_every: int = 5, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.record_every = record_every
+
+    def run(self) -> SearchResult:
+        self.record()
+        since_record = 0
+        while self.budget_left() > 0:
+            scheme = self.random_scheme()
+            if scheme.is_empty:
+                continue
+            self.evaluator.evaluate(scheme)
+            since_record += 1
+            if since_record >= self.record_every:
+                self.record()
+                since_record = 0
+        self.record()
+        return self.finish()

@@ -1,0 +1,164 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+search       run AutoMC (or a baseline) on a paper-scale task
+table2/3     regenerate the paper's tables
+figure4/5/6  regenerate the paper's figures
+inspect      print the search-space / knowledge-graph inventory
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _add_budget_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--budget", type=float, default=30.0,
+                        help="simulated GPU-hours per algorithm (default 30)")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _config(args) -> "ExperimentConfig":
+    from .experiments import ExperimentConfig
+
+    return ExperimentConfig(budget_hours=args.budget, seed=args.seed)
+
+
+def cmd_search(args) -> int:
+    from .experiments.common import EXPERIMENTS, run_algorithm
+
+    exp = {"exp1": "Exp1", "exp2": "Exp2"}[args.experiment]
+    result = run_algorithm(args.algorithm, exp, _config(args))
+    print(result.summary())
+    print()
+    print(f"Pareto schemes with PR >= {result.gamma:.0%}:")
+    for r in sorted(result.pareto, key=lambda r: r.pr):
+        print(f"  {r}")
+    return 0
+
+
+def cmd_table2(args) -> int:
+    from .experiments import run_table2
+
+    print(run_table2(_config(args)).format())
+    return 0
+
+
+def cmd_table3(args) -> int:
+    from .experiments import run_table3
+
+    print(run_table3(_config(args)).format())
+    return 0
+
+
+def cmd_figure(args) -> int:
+    from .experiments import run_figure4, run_figure5, run_figure6
+
+    runner = {"4": run_figure4, "5": run_figure5, "6": run_figure6}[args.number]
+    print(runner(_config(args)).format())
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .experiments.report import run_full_report
+
+    report = run_full_report(
+        _config(args),
+        output_dir=args.output,
+        include_ablations=args.ablations,
+    )
+    print(report.summary())
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    from .experiments.common import EXPERIMENTS, make_evaluator
+    from .space import StrategySpace
+
+    exp = {"exp1": "Exp1", "exp2": "Exp2"}[args.experiment]
+    model_name, dataset_name, task = EXPERIMENTS[exp]
+    evaluator = make_evaluator(model_name, dataset_name, task, seed=args.seed)
+    space = StrategySpace()
+    scheme = space.parse_scheme(args.scheme)
+    result = evaluator.evaluate(scheme)
+    print(result)
+    for i, report in enumerate(result.step_reports, 1):
+        print(f"  step {i}: {report.method} removed {report.params_removed} params")
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    from .knowledge import build_knowledge_graph, default_experience
+    from .space import MAX_SCHEME_LENGTH, StrategySpace, grid_size, tree_size
+
+    space = StrategySpace()
+    print(f"strategy space: {len(space)} strategies over {space.method_labels}")
+    for label in space.method_labels:
+        print(f"  {label}: {grid_size(label)} strategies")
+    print(f"scheme tree (L={MAX_SCHEME_LENGTH}): {tree_size(len(space)):.3e} schemes")
+    records = default_experience()
+    print(f"experience records: {len(records)}")
+    if args.graph:
+        graph = build_knowledge_graph(space)
+        print(graph)
+        for entity_type in ("strategy", "method", "hyperparameter", "setting", "technique"):
+            print(f"  {entity_type}: {len(graph.entities_of_type(entity_type))}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AutoMC reproduction — automated model compression",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("search", help="run one search algorithm on Exp1/Exp2")
+    p.add_argument("experiment", choices=["exp1", "exp2"])
+    p.add_argument("--algorithm", default="AutoMC",
+                   choices=["AutoMC", "Evolution", "RL", "Random"])
+    _add_budget_args(p)
+    p.set_defaults(func=cmd_search)
+
+    p = sub.add_parser("table2", help="regenerate Table 2")
+    _add_budget_args(p)
+    p.set_defaults(func=cmd_table2)
+
+    p = sub.add_parser("table3", help="regenerate Table 3")
+    _add_budget_args(p)
+    p.set_defaults(func=cmd_table3)
+
+    p = sub.add_parser("figure", help="regenerate Figure 4/5/6")
+    p.add_argument("number", choices=["4", "5", "6"])
+    _add_budget_args(p)
+    p.set_defaults(func=cmd_figure)
+
+    p = sub.add_parser("report", help="regenerate every table/figure at once")
+    p.add_argument("--output", default="reports", help="artifact directory")
+    p.add_argument("--ablations", action="store_true",
+                   help="also run the Figure 5 ablation variants")
+    _add_budget_args(p)
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("evaluate", help="evaluate one scheme identifier")
+    p.add_argument("experiment", choices=["exp1", "exp2"])
+    p.add_argument("scheme", help='e.g. "C3[HP1=0.5,HP2=0.2,HP6=0.9] -> C4[...]"')
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_evaluate)
+
+    p = sub.add_parser("inspect", help="print search-space inventory")
+    p.add_argument("--graph", action="store_true", help="also build the KG")
+    p.set_defaults(func=cmd_inspect)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

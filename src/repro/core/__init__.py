@@ -1,0 +1,44 @@
+"""AutoMC core: evaluators, F_mo, progressive search, Pareto tools, facade."""
+
+from .ablation import VARIANTS, build_variant
+from .api import AutoMC
+from .evaluator import (
+    EvaluationResult,
+    SchemeEvaluator,
+    SurrogateEvaluator,
+    TrainingEvaluator,
+)
+from .fmo import Fmo, FmoNetwork
+from .pareto import (
+    crowding_distance,
+    hypervolume_2d,
+    nondominated_sort,
+    pareto_indices,
+    pareto_mask,
+    select_diverse,
+)
+from .progressive import ProgressiveConfig, ProgressiveSearch
+from .search import SearchResult, SearchStrategy, TrajectoryPoint
+
+__all__ = [
+    "AutoMC",
+    "EvaluationResult",
+    "Fmo",
+    "FmoNetwork",
+    "ProgressiveConfig",
+    "ProgressiveSearch",
+    "SchemeEvaluator",
+    "SearchResult",
+    "SearchStrategy",
+    "SurrogateEvaluator",
+    "TrainingEvaluator",
+    "TrajectoryPoint",
+    "VARIANTS",
+    "build_variant",
+    "crowding_distance",
+    "hypervolume_2d",
+    "nondominated_sort",
+    "pareto_indices",
+    "pareto_mask",
+    "select_diverse",
+]

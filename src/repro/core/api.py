@@ -1,0 +1,131 @@
+"""AutoMC — the user-facing facade.
+
+Typical use (paper scale, surrogate accuracy):
+
+    from repro import AutoMC
+    automc = AutoMC.paper_scale("resnet56", "cifar10", gamma=0.3, budget_hours=8)
+    result = automc.search()
+    print(result.summary())
+
+Or fully real (tiny models, real training):
+
+    automc = AutoMC.with_training(model_factory, train_data, val_data, gamma=0.2)
+    result = automc.search()
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..data.tasks import EXP1, EXP2, CompressionTask
+from ..knowledge.embedding import EmbeddingConfig, StrategyEmbeddings, learn_embeddings
+from ..nn import Module
+from ..space.strategy import StrategySpace
+from .evaluator import SchemeEvaluator, SurrogateEvaluator, TrainingEvaluator
+from .progressive import ProgressiveConfig, ProgressiveSearch
+from .search import SearchResult
+
+_PAPER_TASKS = {
+    ("resnet56", "cifar10"): EXP1,
+    ("vgg16", "cifar100"): EXP2,
+}
+
+
+class AutoMC:
+    """Automatic model compression with domain knowledge + progressive search."""
+
+    def __init__(
+        self,
+        evaluator: SchemeEvaluator,
+        space: Optional[StrategySpace] = None,
+        embeddings: Optional[StrategyEmbeddings] = None,
+        gamma: float = 0.3,
+        budget_hours: float = 24.0,
+        max_length: int = 5,
+        embedding_config: Optional[EmbeddingConfig] = None,
+        progressive_config: Optional[ProgressiveConfig] = None,
+        seed: int = 0,
+    ):
+        self.evaluator = evaluator
+        self.space = space or StrategySpace()
+        self.gamma = gamma
+        self.budget_hours = budget_hours
+        self.max_length = max_length
+        self.seed = seed
+        self.progressive_config = progressive_config
+        if embeddings is None:
+            embeddings = learn_embeddings(
+                self.space, config=embedding_config or EmbeddingConfig(seed=seed)
+            )
+        self.embeddings = embeddings
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def paper_scale(
+        cls,
+        model_name: str,
+        dataset_name: str,
+        gamma: float = 0.3,
+        budget_hours: float = 24.0,
+        task: Optional[CompressionTask] = None,
+        seed: int = 0,
+        **kwargs,
+    ) -> "AutoMC":
+        """Surrogate backend on a real full-size model (Exp1/Exp2 setups)."""
+        from ..models import create_model
+
+        if task is None:
+            task = _PAPER_TASKS.get((model_name, dataset_name))
+        if task is None:
+            raise KeyError(
+                f"no predefined task for ({model_name}, {dataset_name}); pass task="
+            )
+        num_classes = task.num_classes
+        evaluator = SurrogateEvaluator(
+            lambda: create_model(model_name, num_classes=num_classes),
+            model_name,
+            dataset_name,
+            task,
+            seed=seed,
+        )
+        return cls(evaluator, gamma=gamma, budget_hours=budget_hours, seed=seed, **kwargs)
+
+    @classmethod
+    def with_training(
+        cls,
+        model_factory: Callable[[], Module],
+        train_data,
+        val_data,
+        gamma: float = 0.2,
+        budget_hours: float = 2.0,
+        pretrain_epochs: float = 2.0,
+        seed: int = 0,
+        **kwargs,
+    ) -> "AutoMC":
+        """Fully real backend: tiny models, real gradient training."""
+        evaluator = TrainingEvaluator(
+            model_factory,
+            train_data,
+            val_data,
+            pretrain_epochs=pretrain_epochs,
+            seed=seed,
+        )
+        return cls(evaluator, gamma=gamma, budget_hours=budget_hours, seed=seed, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    def search(self) -> SearchResult:
+        """Run Algorithm 2 and return the Pareto-optimal schemes."""
+        from ..knowledge.experience import default_experience
+
+        searcher = ProgressiveSearch(
+            self.evaluator,
+            self.space,
+            self.embeddings,
+            gamma=self.gamma,
+            budget_hours=self.budget_hours,
+            max_length=self.max_length,
+            config=self.progressive_config,
+            experience=default_experience(),
+            seed=self.seed,
+        )
+        return searcher.run()

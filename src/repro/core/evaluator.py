@@ -1,0 +1,315 @@
+"""Scheme evaluators — the bridge between search and compression execution.
+
+Two backends share one interface:
+
+* :class:`TrainingEvaluator` — everything real: a model is pre-trained on a
+  (tiny) dataset, strategies execute with gradient training, accuracy is
+  measured on a held-out split.  Used by tests and the runnable examples.
+* :class:`SurrogateEvaluator` — paper scale: strategies perform *real
+  structural surgery* on the real full-size numpy model (so parameters and
+  FLOPs are measured), gradient phases are skipped, and accuracy evolves via
+  the calibrated :class:`~repro.sim.accuracy.AccuracyModel`.
+
+Both cache results by scheme identifier and keep an LRU of compressed model
+snapshots so progressive search can extend an evaluated scheme without
+re-running its prefix.  Every evaluation also charges a *simulated GPU-hour*
+cost — the common currency that gives all AutoML baselines equal budgets
+(§4.1 "control the running time of each algorithm to be the same").
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..compression import ExecutionContext, StepReport
+from ..data.tasks import CompressionTask
+from ..nn import Module, Trainer, evaluate_accuracy, profile_model
+from ..sim.accuracy import AccuracyModel
+from ..space.scheme import CompressionScheme
+
+#: simulated GPU-hours per (epoch x GFLOP x full-dataset) of training
+EPOCH_COST_HOURS = 0.01
+#: fixed simulated cost of evaluating any scheme (accuracy measurement etc.)
+EVAL_OVERHEAD_HOURS = 0.05
+
+
+@dataclass
+class EvaluationResult:
+    """Measured outcome of executing a compression scheme on the task model."""
+
+    scheme: CompressionScheme
+    params: int
+    flops: int
+    accuracy: float  # fraction in [0, 1]
+    base_params: int
+    base_flops: int
+    base_accuracy: float
+    cost: float  # simulated GPU-hours charged for this evaluation
+    step_reports: List[StepReport] = field(default_factory=list)
+
+    @property
+    def pr(self) -> float:
+        """Parameter reduction rate (paper's PR)."""
+        return (self.base_params - self.params) / max(self.base_params, 1)
+
+    @property
+    def fr(self) -> float:
+        """FLOPs reduction rate (paper's FR)."""
+        return (self.base_flops - self.flops) / max(self.base_flops, 1)
+
+    @property
+    def ar(self) -> float:
+        """Accuracy increase rate (paper's AR, usually negative)."""
+        return (self.accuracy - self.base_accuracy) / max(self.base_accuracy, 1e-9)
+
+    def meets_target(self, gamma: float) -> bool:
+        return self.pr >= gamma
+
+    @property
+    def objectives(self) -> np.ndarray:
+        """(AR, PR) — both maximised in Definition 1."""
+        return np.array([self.ar, self.pr])
+
+    def __str__(self) -> str:
+        return (
+            f"PR {100 * self.pr:.2f}% | FR {100 * self.fr:.2f}% | "
+            f"acc {100 * self.accuracy:.2f}% (AR {100 * self.ar:+.2f}%) | "
+            f"{self.scheme.identifier}"
+        )
+
+
+class SchemeEvaluator:
+    """Shared caching / cost-accounting base for both backends."""
+
+    def __init__(self, task: CompressionTask, model_cache_size: int = 16, seed: int = 0):
+        self.task = task
+        self.seed = seed
+        self.results: Dict[str, EvaluationResult] = {}
+        self.total_cost = 0.0
+        self.evaluation_count = 0
+        self._model_cache: "OrderedDict[str, Tuple[Module, float]]" = OrderedDict()
+        self._model_cache_size = model_cache_size
+
+    # -- model snapshot LRU ------------------------------------------------
+    def _cache_model(self, key: str, model: Module, accuracy: float) -> None:
+        self._model_cache[key] = (model, accuracy)
+        self._model_cache.move_to_end(key)
+        while len(self._model_cache) > self._model_cache_size:
+            self._model_cache.popitem(last=False)
+
+    def _longest_cached_prefix(self, scheme: CompressionScheme) -> int:
+        for length in range(scheme.length - 1, 0, -1):
+            if scheme.prefix(length).identifier in self._model_cache:
+                self._model_cache.move_to_end(scheme.prefix(length).identifier)
+                return length
+        return 0
+
+    # -- public API ----------------------------------------------------------
+    def evaluate(self, scheme: CompressionScheme) -> EvaluationResult:
+        """Evaluate (with caching) one compression scheme."""
+        key = scheme.identifier
+        if key in self.results:
+            return self.results[key]
+        result = self._evaluate(scheme)
+        self.results[key] = result
+        self.total_cost += result.cost
+        self.evaluation_count += 1
+        return result
+
+    def pareto_results(self, gamma: Optional[float] = None) -> List[EvaluationResult]:
+        """Non-dominated evaluated schemes (optionally filtered to PR >= gamma)."""
+        from .pareto import pareto_mask
+
+        candidates = [
+            r
+            for r in self.results.values()
+            if not r.scheme.is_empty and (gamma is None or r.meets_target(gamma))
+        ]
+        if not candidates:
+            return []
+        points = np.stack([r.objectives for r in candidates])
+        mask = pareto_mask(points)
+        return [r for r, keep in zip(candidates, mask) if keep]
+
+    def _evaluate(self, scheme: CompressionScheme) -> EvaluationResult:  # pragma: no cover
+        raise NotImplementedError
+
+
+def _step_cost(report: StepReport, flops_g: float, data_fraction: float) -> float:
+    epochs = report.fine_tune_epochs + report.train_epochs
+    return epochs * flops_g * data_fraction * EPOCH_COST_HOURS + EVAL_OVERHEAD_HOURS
+
+
+class TrainingEvaluator(SchemeEvaluator):
+    """Fully real backend: tiny models, real gradients, measured accuracy."""
+
+    def __init__(
+        self,
+        model_factory: Callable[[], Module],
+        train_data,
+        val_data,
+        pretrain_epochs: float = 2.0,
+        trainer: Optional[Trainer] = None,
+        task: Optional[CompressionTask] = None,
+        seed: int = 0,
+    ):
+        self.model_factory = model_factory
+        self.train_data = train_data
+        self.val_data = val_data
+        self.pretrain_epochs = pretrain_epochs
+        self.trainer = trainer or Trainer(lr=0.05, batch_size=32, seed=seed)
+        self._input_shape = (train_data.channels, train_data.image_size, train_data.image_size)
+
+        base_model = model_factory()
+        self.trainer.fit(base_model, train_data, pretrain_epochs)
+        self._base_model = base_model
+        base_profile = profile_model(base_model, self._input_shape)
+        self.base_params = base_profile.params
+        self.base_flops = base_profile.flops
+        self.base_accuracy = evaluate_accuracy(base_model, val_data)
+
+        if task is None:
+            from ..data.tasks import task_from_dataset
+
+            task = task_from_dataset(train_data, base_model, "custom", self.base_accuracy)
+        super().__init__(task, seed=seed)
+
+    def _evaluate(self, scheme: CompressionScheme) -> EvaluationResult:
+        prefix_len = self._longest_cached_prefix(scheme)
+        if prefix_len:
+            model, _ = self._model_cache[scheme.prefix(prefix_len).identifier]
+            model = copy.deepcopy(model)
+        else:
+            model = copy.deepcopy(self._base_model)
+
+        cost = EVAL_OVERHEAD_HOURS
+        reports: List[StepReport] = []
+        for position in range(prefix_len, scheme.length):
+            strategy = scheme.strategies[position]
+            ctx = ExecutionContext(
+                original_params=self.base_params,
+                pretrain_epochs=self.pretrain_epochs,
+                dataset=self.train_data,
+                val_dataset=self.val_data,
+                trainer=self.trainer,
+                train_enabled=True,
+                seed=self.seed + hash(scheme.prefix(position + 1).identifier) % 10_000,
+            )
+            report = strategy.method.apply(model, strategy.hp, ctx)
+            reports.append(report)
+            profile = profile_model(model, self._input_shape)
+            cost += _step_cost(report, profile.flops / 1e9, 1.0)
+
+        profile = profile_model(model, self._input_shape)
+        accuracy = evaluate_accuracy(model, self.val_data)
+        if not scheme.is_empty:
+            self._cache_model(scheme.identifier, model, accuracy)
+        return EvaluationResult(
+            scheme=scheme,
+            params=profile.params,
+            flops=profile.flops,
+            accuracy=accuracy,
+            base_params=self.base_params,
+            base_flops=self.base_flops,
+            base_accuracy=self.base_accuracy,
+            cost=cost,
+            step_reports=reports,
+        )
+
+
+class SurrogateEvaluator(SchemeEvaluator):
+    """Paper-scale backend: real surgery + calibrated accuracy surrogate."""
+
+    def __init__(
+        self,
+        model_factory: Callable[[], Module],
+        model_name: str,
+        dataset_name: str,
+        task: CompressionTask,
+        pretrain_epochs: float = 100.0,
+        data_fraction: float = 0.1,
+        seed: int = 0,
+        model_cache_size: int = 32,
+    ):
+        super().__init__(task, model_cache_size=model_cache_size, seed=seed)
+        self.model_factory = model_factory
+        self.model_name = model_name
+        self.dataset_name = dataset_name
+        self.pretrain_epochs = pretrain_epochs
+        self.data_fraction = data_fraction
+        self.accuracy_model = AccuracyModel(model_name, dataset_name, seed=seed)
+
+        self._base_model = model_factory()
+        self._input_shape = (task.channels, task.image_size, task.image_size)
+        base_profile = profile_model(self._base_model, self._input_shape)
+        self.base_params = base_profile.params
+        self.base_flops = base_profile.flops
+        self.base_accuracy = self.accuracy_model.baseline / 100.0
+
+    def _evaluate(self, scheme: CompressionScheme) -> EvaluationResult:
+        prefix_len = self._longest_cached_prefix(scheme)
+        if prefix_len:
+            model, accuracy_pct = self._model_cache[scheme.prefix(prefix_len).identifier]
+            model = copy.deepcopy(model)
+        else:
+            model = copy.deepcopy(self._base_model)
+            accuracy_pct = self.accuracy_model.baseline
+
+        cost = EVAL_OVERHEAD_HOURS
+        reports: List[StepReport] = []
+        for position in range(prefix_len, scheme.length):
+            strategy = scheme.strategies[position]
+            sub_scheme = scheme.prefix(position + 1)
+            ctx = ExecutionContext(
+                original_params=self.base_params,
+                pretrain_epochs=self.pretrain_epochs,
+                train_enabled=False,
+                seed=self.seed + hash(sub_scheme.identifier) % 100_000,
+            )
+            params_before = model.num_parameters()
+            report = strategy.method.apply(model, strategy.hp, ctx)
+            reports.append(report)
+            params_after = model.num_parameters()
+
+            pr_before = (self.base_params - params_before) / self.base_params
+            pr_after = (self.base_params - params_after) / self.base_params
+            ft_norm = float(strategy.hp.get("HP1", strategy.hp.get("HP9", 0.0)))
+            step_rng = np.random.default_rng(
+                (self.seed * 1_000_003 + hash(sub_scheme.identifier)) % (2 ** 63)
+            )
+            accuracy_pct, _ = self.accuracy_model.step(
+                accuracy_pct,
+                pr_before,
+                pr_after,
+                strategy.method_label,
+                strategy.hp,
+                ft_norm,
+                previous_methods=tuple(
+                    s.method_label for s in scheme.strategies[:position]
+                ),
+                rng=step_rng,
+            )
+            # Cost proxy: training FLOPs scale roughly with the remaining
+            # parameter fraction (avoids a full profiling forward per step).
+            flops_g = (self.base_flops / 1e9) * (params_after / self.base_params)
+            cost += _step_cost(report, flops_g, self.data_fraction)
+
+        profile = profile_model(model, self._input_shape)
+        if not scheme.is_empty:
+            self._cache_model(scheme.identifier, model, accuracy_pct)
+        return EvaluationResult(
+            scheme=scheme,
+            params=profile.params,
+            flops=profile.flops,
+            accuracy=accuracy_pct / 100.0,
+            base_params=self.base_params,
+            base_flops=self.base_flops,
+            base_accuracy=self.base_accuracy,
+            cost=cost,
+            step_reports=reports,
+        )

@@ -1,0 +1,178 @@
+"""F_mo — the multi-objective step evaluator of §3.3.2 (Figure 3).
+
+Given an evaluated scheme ``seq`` and a candidate next strategy ``s``, F_mo
+predicts the *step effects* (AR_step, PR_step): the relative accuracy and
+parameter changes that appending ``s`` would cause.  The scheme is encoded
+from the high-level strategy embeddings of Algorithm 1 (mean over the
+sequence plus the most recent strategy) together with a small state vector;
+the candidate contributes its own embedding.
+
+Observed transitions are kept in a replay buffer; after every search round
+the network is re-fit for a few epochs on the whole buffer (Eq. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..knowledge.embedding import StrategyEmbeddings
+from ..nn import Adam, Linear, Module, Tensor
+from ..space.scheme import CompressionScheme
+
+STATE_FEATURES = 4  # accuracy ratio, params ratio, length/L, nominal PR
+
+#: AR_step targets are O(0.01) while PR_step targets are O(0.1-0.4); without
+#: rescaling, the shared MSE objective lets the AR head under-train and the
+#: accuracy projections that drive Eq. 4 stay noise.  Targets are stored
+#: scaled and predictions are unscaled on the way out.
+AR_TARGET_SCALE = 10.0
+
+
+class FmoNetwork(Module):
+    """MLP over [seq-mean ; seq-last ; candidate ; state] -> (AR_step, PR_step)."""
+
+    def __init__(self, embedding_dim: int, hidden: int = 64, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        input_dim = 3 * embedding_dim + STATE_FEATURES
+        self.fc1 = Linear(input_dim, hidden, rng=rng)
+        self.fc2 = Linear(hidden, hidden // 2, rng=rng)
+        self.out = Linear(hidden // 2, 2, rng=rng)
+
+    def forward(self, features: Tensor) -> Tensor:
+        x = self.fc1(features).relu()
+        x = self.fc2(x).relu()
+        return self.out(x)
+
+
+@dataclass
+class FmoObservation:
+    """One training example for Eq. 5."""
+
+    features: np.ndarray
+    ar_step: float
+    pr_step: float
+
+
+class Fmo:
+    """Predictor + replay buffer + online trainer."""
+
+    def __init__(
+        self,
+        embeddings: StrategyEmbeddings,
+        max_length: int = 5,
+        learning_rate: float = 1e-3,
+        seed: int = 0,
+    ):
+        self.embeddings = embeddings
+        self.max_length = max_length
+        self.network = FmoNetwork(embeddings.dim, seed=seed)
+        self.optimizer = Adam(self.network.parameters(), lr=learning_rate)
+        self.buffer: List[FmoObservation] = []
+        self.loss_history: List[float] = []
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    def encode_sequence(self, scheme: CompressionScheme) -> np.ndarray:
+        """[mean embedding ; last embedding] of the scheme's strategies."""
+        dim = self.embeddings.dim
+        if scheme.is_empty:
+            return np.zeros(2 * dim)
+        vectors = np.stack([self.embeddings.of(s) for s in scheme])
+        return np.concatenate([vectors.mean(axis=0), vectors[-1]])
+
+    @staticmethod
+    def state_features(
+        accuracy_ratio: float, params_ratio: float, length: int, nominal_pr: float,
+        max_length: int = 5,
+    ) -> np.ndarray:
+        return np.array([accuracy_ratio, params_ratio, length / max_length, nominal_pr])
+
+    def build_features(
+        self,
+        scheme: CompressionScheme,
+        state: np.ndarray,
+        candidate_indices: np.ndarray,
+    ) -> np.ndarray:
+        """Feature matrix for many candidates appended to one scheme."""
+        seq_part = self.encode_sequence(scheme)
+        candidates = self.embeddings.table[candidate_indices]
+        n = len(candidate_indices)
+        left = np.tile(np.concatenate([seq_part, state]), (n, 1))
+        # layout: [seq-mean ; seq-last ; state ; candidate] — reorder so the
+        # candidate block is contiguous for the network input.
+        return np.concatenate([left[:, : seq_part.size], candidates, left[:, seq_part.size :]], axis=1)
+
+    # ------------------------------------------------------------------ #
+    def predict(
+        self,
+        scheme: CompressionScheme,
+        state: np.ndarray,
+        candidate_indices: np.ndarray,
+    ) -> np.ndarray:
+        """(n, 2) array of predicted (AR_step, PR_step) for each candidate."""
+        features = self.build_features(scheme, state, candidate_indices)
+        out = self.network(Tensor(features)).data.copy()
+        out[:, 0] /= AR_TARGET_SCALE
+        return out
+
+    def observe(
+        self,
+        scheme: CompressionScheme,
+        state: np.ndarray,
+        candidate_index: int,
+        ar_step: float,
+        pr_step: float,
+    ) -> None:
+        features = self.build_features(scheme, state, np.array([candidate_index]))[0]
+        scaled_ar = float(np.clip(ar_step, -0.5, 0.1)) * AR_TARGET_SCALE
+        self.buffer.append(FmoObservation(features, scaled_ar, pr_step))
+
+    def pretrain_from_experience(self, records, epochs: int = 40) -> int:
+        """Warm-start F_mo from the papers' experience records (§1's
+        "learned prior knowledge combined with historical evaluation
+        information").
+
+        Each record becomes a pseudo-transition from the START scheme: the
+        candidate is the record's nearest strategy in the space and the
+        targets are the reported (AR, PR).  Returns how many records matched.
+        """
+        from ..knowledge.experience import nearest_strategy
+
+        state = self.state_features(1.0, 1.0, 0, 0.0, self.max_length)
+        matched = 0
+        for record in records:
+            strategy = nearest_strategy(self.embeddings.space, record)
+            if strategy is None:
+                continue
+            self.observe(
+                CompressionScheme(), state, strategy.index, record.ar, record.pr
+            )
+            matched += 1
+        if matched:
+            self.train(epochs=epochs)
+        return matched
+
+    def train(self, epochs: int = 20, batch_size: int = 64) -> float:
+        """Re-fit on the replay buffer (Eq. 5); returns the final loss."""
+        if not self.buffer:
+            return float("nan")
+        features = np.stack([o.features for o in self.buffer])
+        targets = np.array([[o.ar_step, o.pr_step] for o in self.buffer])
+        last = float("nan")
+        for _ in range(epochs):
+            order = self._rng.permutation(len(features))
+            for start in range(0, len(order), batch_size):
+                idx = order[start : start + batch_size]
+                pred = self.network(Tensor(features[idx]))
+                diff = pred - Tensor(targets[idx])
+                loss = (diff * diff).mean()
+                self.optimizer.zero_grad()
+                loss.backward()
+                self.optimizer.step()
+                last = loss.item()
+        self.loss_history.append(last)
+        return last

@@ -1,0 +1,111 @@
+"""Pareto-front utilities for the bi-objective (AR, PR) optimisation.
+
+Conventions: points are (n, m) arrays where every objective is to be
+*maximised* (callers negate minimisation objectives).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+def pareto_mask(points: np.ndarray) -> np.ndarray:
+    """Boolean mask of non-dominated rows (all objectives maximised)."""
+    points = np.asarray(points, dtype=np.float64)
+    n = len(points)
+    mask = np.ones(n, dtype=bool)
+    for i in range(n):
+        if not mask[i]:
+            continue
+        dominated_by_i = np.all(points <= points[i], axis=1) & np.any(
+            points < points[i], axis=1
+        )
+        mask &= ~dominated_by_i
+        mask[i] = True
+    return mask
+
+
+def pareto_indices(points: np.ndarray) -> np.ndarray:
+    """Indices of non-dominated rows."""
+    return np.flatnonzero(pareto_mask(points))
+
+
+def nondominated_sort(points: np.ndarray) -> List[np.ndarray]:
+    """NSGA-II fast non-dominated sorting into fronts (best first)."""
+    points = np.asarray(points, dtype=np.float64)
+    n = len(points)
+    dominated_count = np.zeros(n, dtype=np.int64)
+    dominates: List[List[int]] = [[] for _ in range(n)]
+    for i in range(n):
+        better_eq = np.all(points >= points[i], axis=1)
+        strictly = np.any(points > points[i], axis=1)
+        dominators = np.flatnonzero(better_eq & strictly)
+        dominated_count[i] = len(dominators)
+        for j in dominators:
+            dominates[j].append(i)
+    fronts: List[np.ndarray] = []
+    current = np.flatnonzero(dominated_count == 0)
+    while len(current):
+        fronts.append(current)
+        next_front = []
+        for i in current:
+            for j in dominates[i]:
+                dominated_count[j] -= 1
+                if dominated_count[j] == 0:
+                    next_front.append(j)
+        current = np.asarray(sorted(set(next_front)), dtype=np.int64)
+    return fronts
+
+
+def crowding_distance(points: np.ndarray) -> np.ndarray:
+    """NSGA-II crowding distance (inf at the extremes of each objective)."""
+    points = np.asarray(points, dtype=np.float64)
+    n, m = points.shape
+    distance = np.zeros(n)
+    if n <= 2:
+        return np.full(n, np.inf)
+    for k in range(m):
+        order = np.argsort(points[:, k])
+        span = points[order[-1], k] - points[order[0], k]
+        distance[order[0]] = distance[order[-1]] = np.inf
+        if span <= 0:
+            continue
+        gaps = (points[order[2:], k] - points[order[:-2], k]) / span
+        distance[order[1:-1]] += gaps
+    return distance
+
+
+def hypervolume_2d(points: np.ndarray, reference: Sequence[float]) -> float:
+    """Dominated hypervolume for two maximised objectives.
+
+    ``reference`` is the worst corner; points not dominating it contribute
+    nothing.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    ref = np.asarray(reference, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError("hypervolume_2d expects (n, 2) points")
+    useful = points[np.all(points > ref, axis=1)]
+    if len(useful) == 0:
+        return 0.0
+    front = useful[pareto_mask(useful)]
+    front = front[np.argsort(-front[:, 0])]  # descending first objective
+    volume = 0.0
+    prev_y = ref[1]
+    for x, y in front:
+        if y > prev_y:
+            volume += (x - ref[0]) * (y - prev_y)
+            prev_y = y
+    return float(volume)
+
+
+def select_diverse(points: np.ndarray, k: int) -> np.ndarray:
+    """Pick up to ``k`` indices from the Pareto front, preferring spread."""
+    front = pareto_indices(points)
+    if len(front) <= k:
+        return front
+    distance = crowding_distance(points[front])
+    order = np.argsort(-distance)
+    return front[order[:k]]

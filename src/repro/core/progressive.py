@@ -1,0 +1,238 @@
+"""Algorithm 2 — AutoMC's progressive search strategy (§3.3.2).
+
+Each optimisation round:
+
+1. sample a subset H_sub of the evaluated schemes (Pareto-preferred);
+2. form the step search space S_step = {(seq, s) : seq in H_sub, s in
+   Next_seq} where Next_seq are seq's *unexplored* next strategies;
+3. score every option with F_mo and Eq. 4's (ACC, PAR) projections;
+4. evaluate the Pareto-optimal options (capped, crowding-diverse);
+5. train F_mo on the observed (AR_step, PR_step) targets (Eq. 5);
+6. fold the new schemes into H_scheme and update the Next bookkeeping.
+
+The search stops when the simulated GPU-hour budget is exhausted and returns
+the Pareto-optimal schemes whose parameter reduction meets the target γ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..knowledge.embedding import StrategyEmbeddings
+from ..space.scheme import CompressionScheme
+from ..space.strategy import StrategySpace
+from .evaluator import EvaluationResult, SchemeEvaluator
+from .fmo import Fmo
+from .pareto import pareto_indices, select_diverse
+from .search import SearchResult, SearchStrategy
+
+
+@dataclass
+class ProgressiveConfig:
+    """Tunables of Algorithm 2."""
+
+    sample_size: int = 8          # |H_sub| per round
+    evals_per_round: int = 6      # cap on |ParetoO|
+    fmo_epochs: int = 25          # Eq. 5 epochs per round
+    # Annealed noise on F_mo predictions; AR_step signals are O(0.005), so
+    # the noise floor must sit well below that once a few rounds have run.
+    exploration_noise: float = 0.004
+    max_nominal_pr: float = 0.9   # skip candidates whose HP2 sum exceeds this
+    candidate_subsample: int = 4230   # candidates scored per scheme per round
+    # Design-choice toggles (exercised by benchmarks/test_design_ablations.py):
+    stratified_sampling: bool = True   # PR-stratified H_sub sampling
+    feasible_bias: bool = True         # half the evals target PR in [γ, 0.8]
+
+
+class ProgressiveSearch(SearchStrategy):
+    """AutoMC: knowledge-guided, progressively expanding scheme search."""
+
+    name = "AutoMC"
+
+    def __init__(
+        self,
+        evaluator: SchemeEvaluator,
+        space: StrategySpace,
+        embeddings: StrategyEmbeddings,
+        gamma: float = 0.3,
+        budget_hours: float = 24.0,
+        max_length: int = 5,
+        config: Optional[ProgressiveConfig] = None,
+        experience=None,
+        seed: int = 0,
+    ):
+        super().__init__(evaluator, space, gamma, budget_hours, max_length, seed)
+        self.config = config or ProgressiveConfig()
+        self.fmo = Fmo(embeddings, max_length=max_length, seed=seed)
+        if experience:
+            self.fmo.pretrain_from_experience(experience)
+        # Next_seq bookkeeping: scheme id -> boolean mask of unexplored ops.
+        self._unexplored: Dict[str, np.ndarray] = {}
+        self._results_by_id: Dict[str, EvaluationResult] = {}
+
+    # ------------------------------------------------------------------ #
+    def _ensure_tracked(self, result: EvaluationResult) -> None:
+        key = result.scheme.identifier
+        if key not in self._unexplored and result.scheme.length < self.max_length:
+            self._unexplored[key] = np.ones(len(self.space), dtype=bool)
+        self._results_by_id[key] = result
+
+    #: parent-sampling strata over cumulative PR — extensions of shallow
+    #: schemes are what keep the feasible band [gamma, ~0.5] populated, so
+    #: every stratum stays in play for the whole search.
+    _PR_BINS = ((0.0, 0.15), (0.15, 0.30), (0.30, 0.50), (0.50, 1.01))
+
+    def _sample_h_sub(self) -> List[EvaluationResult]:
+        """PR-stratified, Pareto-preferred sample of expandable schemes."""
+        expandable = [
+            r
+            for key, r in self._results_by_id.items()
+            if key in self._unexplored and self._unexplored[key].any()
+        ]
+        if not expandable:
+            return []
+        chosen: List[int] = []
+        if self.config.stratified_sampling:
+            # One best-accuracy parent per PR stratum.
+            for low, high in self._PR_BINS:
+                members = [
+                    i for i, r in enumerate(expandable) if low <= r.pr < high
+                ]
+                if members:
+                    chosen.append(max(members, key=lambda i: expandable[i].accuracy))
+        # Fill the rest with a crowding-diverse Pareto pick plus randoms.
+        points = np.stack([r.objectives for r in expandable])
+        for i in select_diverse(points, self.config.sample_size):
+            if len(chosen) >= self.config.sample_size:
+                break
+            if int(i) not in chosen:
+                chosen.append(int(i))
+        remaining = [i for i in range(len(expandable)) if i not in set(chosen)]
+        extra = self.config.sample_size - len(chosen)
+        if extra > 0 and remaining:
+            picks = self.rng.choice(
+                remaining, size=min(extra, len(remaining)), replace=False
+            )
+            chosen.extend(int(i) for i in picks)
+        return [expandable[i] for i in chosen[: self.config.sample_size]]
+
+    def _state_of(self, result: EvaluationResult) -> np.ndarray:
+        return Fmo.state_features(
+            result.accuracy / max(result.base_accuracy, 1e-9),
+            result.params / max(result.base_params, 1),
+            result.scheme.length,
+            result.scheme.total_param_step,
+            self.max_length,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _score_round(
+        self, h_sub: List[EvaluationResult], round_index: int
+    ) -> List[Tuple[EvaluationResult, int, float, float]]:
+        """All (seq, s) options with Eq. 4 projections (ACC, -PAR)."""
+        options: List[Tuple[EvaluationResult, int, float, float]] = []
+        noise_scale = self.config.exploration_noise / np.sqrt(1 + round_index)
+        for result in h_sub:
+            mask = self._unexplored[result.scheme.identifier]
+            candidates = np.flatnonzero(mask)
+            if len(candidates) == 0:
+                continue
+            if len(candidates) > self.config.candidate_subsample:
+                candidates = self.rng.choice(
+                    candidates, size=self.config.candidate_subsample, replace=False
+                )
+            # Budget filter: drop candidates whose nominal PR would explode.
+            nominal = result.scheme.total_param_step
+            steps = np.array([self.space[int(i)].param_step for i in candidates])
+            keep = nominal + steps <= self.config.max_nominal_pr
+            candidates = candidates[keep]
+            if len(candidates) == 0:
+                continue
+            state = self._state_of(result)
+            predictions = self.fmo.predict(result.scheme, state, candidates)
+            predictions = predictions + self.rng.normal(
+                0, noise_scale, size=predictions.shape
+            )
+            acc_proj = result.accuracy * (1.0 + predictions[:, 0])  # Eq. 4 ACC
+            par_proj = result.params * (1.0 - predictions[:, 1])    # Eq. 4 PAR
+            for cand, acc, par in zip(candidates, acc_proj, par_proj):
+                options.append((result, int(cand), float(acc), float(par)))
+        return options
+
+    def _select_pareto_options(
+        self, options: List[Tuple[EvaluationResult, int, float, float]]
+    ) -> List[Tuple[EvaluationResult, int]]:
+        """ParetoO = argmax [ACC, -PAR], capped and diversity-selected.
+
+        With ``feasible_bias`` on, half of the evaluation slots go to the
+        highest-projected-ACC Pareto options whose projected cumulative PR
+        lands in [gamma, 0.8] — Definition 1 constrains the final answer to
+        PR >= γ, so that region is where evaluations buy the most; the rest
+        is spread over the whole front by crowding distance (exploration).
+        """
+        if not options:
+            return []
+        points = np.array([[acc, -par] for (_, _, acc, par) in options])
+        front = pareto_indices(points)
+        budget = self.config.evals_per_round
+
+        base_params = max(
+            next(iter(self._results_by_id.values())).base_params, 1
+        )
+        pr_projected = np.array([1.0 - par / base_params for (_, _, _, par) in options])
+        chosen: List[int] = []
+        if self.config.feasible_bias:
+            feasible_front = [
+                int(i) for i in front if self.gamma <= pr_projected[i] <= 0.8
+            ]
+            feasible_front.sort(key=lambda i: -points[i, 0])  # by projected ACC
+            chosen = feasible_front[: max(budget // 2, 1)]
+
+        remaining = budget - len(chosen)
+        if remaining > 0:
+            spread = select_diverse(points, budget)
+            for i in spread:
+                if int(i) not in chosen and remaining > 0:
+                    chosen.append(int(i))
+                    remaining -= 1
+        return [(options[i][0], options[i][1]) for i in chosen]
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> SearchResult:
+        start = self.evaluator.evaluate(CompressionScheme())
+        self._ensure_tracked(start)
+        self.record()
+
+        round_index = 0
+        while self.budget_left() > 0:
+            h_sub = self._sample_h_sub()
+            if not h_sub:
+                break
+            options = self._score_round(h_sub, round_index)
+            selected = self._select_pareto_options(options)
+            if not selected:
+                break
+            for parent, candidate_index in selected:
+                if self.budget_left() <= 0:
+                    break
+                strategy = self.space[candidate_index]
+                child_scheme = parent.scheme.extend(strategy)
+                child = self.evaluator.evaluate(child_scheme)
+                self._ensure_tracked(child)
+                # Mark s as explored under seq (Algorithm 2, line 9).
+                self._unexplored[parent.scheme.identifier][candidate_index] = False
+                # Observed step targets for Eq. 5.
+                ar_step = (child.accuracy - parent.accuracy) / max(parent.accuracy, 1e-9)
+                pr_step = (parent.params - child.params) / max(parent.params, 1)
+                self.fmo.observe(
+                    parent.scheme, self._state_of(parent), candidate_index,
+                    ar_step, pr_step,
+                )
+            self.fmo.train(epochs=self.config.fmo_epochs)
+            self.record()
+            round_index += 1
+
+        return self.finish()

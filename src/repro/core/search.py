@@ -1,0 +1,148 @@
+"""Shared search-strategy infrastructure: results, trajectories, base class.
+
+Every search algorithm (AutoMC's progressive search and the RL / EA / Random
+baselines) consumes a :class:`~repro.core.evaluator.SchemeEvaluator` and a
+:class:`~repro.space.strategy.StrategySpace`, runs until its simulated
+GPU-hour budget is exhausted, and produces a :class:`SearchResult` with the
+Pareto-optimal schemes and a trajectory for the Figure 4/5 plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..space.scheme import CompressionScheme
+from ..space.strategy import StrategySpace
+from .evaluator import EvaluationResult, SchemeEvaluator
+from .pareto import hypervolume_2d, pareto_mask
+
+
+@dataclass
+class TrajectoryPoint:
+    """One snapshot of search progress (for Figures 4 and 5)."""
+
+    cost: float                 # simulated GPU-hours spent so far
+    evaluations: int            # schemes evaluated so far
+    best_accuracy: float        # best accuracy among schemes with PR >= gamma
+    best_ar: float              # its AR
+    hypervolume: float          # HV of the (AR, PR) front vs (-1, 0)
+    front_size: int
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one search run."""
+
+    algorithm: str
+    pareto: List[EvaluationResult]          # Pareto schemes with PR >= gamma
+    front: List[EvaluationResult]           # unconstrained Pareto front
+    trajectory: List[TrajectoryPoint]
+    total_cost: float
+    evaluations: int
+    gamma: float
+    all_results: List[EvaluationResult] = None  # every evaluated scheme
+
+    @property
+    def best(self) -> Optional[EvaluationResult]:
+        """Pareto scheme with the highest accuracy (the paper's headline pick)."""
+        if not self.pareto:
+            return None
+        return max(self.pareto, key=lambda r: r.accuracy)
+
+    def summary(self) -> str:
+        best = self.best
+        head = f"{self.algorithm}: {self.evaluations} evals, {self.total_cost:.1f} sim-h"
+        if best is None:
+            return head + " — no scheme met the PR target"
+        return head + f" | best: {best}"
+
+
+class SearchStrategy:
+    """Base class: budgeted loop with trajectory recording."""
+
+    name = "base"
+
+    def __init__(
+        self,
+        evaluator: SchemeEvaluator,
+        space: StrategySpace,
+        gamma: float = 0.3,
+        budget_hours: float = 24.0,
+        max_length: int = 5,
+        seed: int = 0,
+    ):
+        self.evaluator = evaluator
+        self.space = space
+        self.gamma = gamma
+        self.budget_hours = budget_hours
+        self.max_length = max_length
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+        self.trajectory: List[TrajectoryPoint] = []
+
+    # ------------------------------------------------------------------ #
+    def budget_left(self) -> float:
+        return self.budget_hours - self.evaluator.total_cost
+
+    def record(self) -> TrajectoryPoint:
+        """Append a trajectory snapshot from the evaluator's history."""
+        feasible = [
+            r
+            for r in self.evaluator.results.values()
+            if not r.scheme.is_empty and r.meets_target(self.gamma)
+        ]
+        everything = [r for r in self.evaluator.results.values() if not r.scheme.is_empty]
+        if feasible:
+            best = max(feasible, key=lambda r: r.accuracy)
+            best_accuracy, best_ar = best.accuracy, best.ar
+        else:
+            best_accuracy, best_ar = 0.0, -1.0
+        if everything:
+            points = np.stack([r.objectives for r in everything])
+            hv = hypervolume_2d(points, (-1.0, 0.0))
+            front = int(pareto_mask(points).sum())
+        else:
+            hv, front = 0.0, 0
+        point = TrajectoryPoint(
+            cost=self.evaluator.total_cost,
+            evaluations=self.evaluator.evaluation_count,
+            best_accuracy=best_accuracy,
+            best_ar=best_ar,
+            hypervolume=hv,
+            front_size=front,
+        )
+        self.trajectory.append(point)
+        return point
+
+    def finish(self) -> SearchResult:
+        return SearchResult(
+            algorithm=self.name,
+            pareto=self.evaluator.pareto_results(self.gamma),
+            front=self.evaluator.pareto_results(None),
+            trajectory=self.trajectory,
+            total_cost=self.evaluator.total_cost,
+            evaluations=self.evaluator.evaluation_count,
+            gamma=self.gamma,
+            all_results=[
+                r for r in self.evaluator.results.values() if not r.scheme.is_empty
+            ],
+        )
+
+    def run(self) -> SearchResult:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    def random_scheme(self, max_pr: float = 0.9) -> CompressionScheme:
+        """A random scheme of length 1..max_length within the nominal budget."""
+        length = int(self.rng.integers(1, self.max_length + 1))
+        scheme = CompressionScheme()
+        for _ in range(length):
+            for _ in range(20):
+                strategy = self.space[int(self.rng.integers(0, len(self.space)))]
+                if scheme.total_param_step + strategy.param_step <= max_pr:
+                    scheme = scheme.extend(strategy)
+                    break
+        return scheme

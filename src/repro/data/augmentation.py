@@ -1,0 +1,92 @@
+"""Training-time image augmentation (random crop with padding + h-flip).
+
+The standard CIFAR recipe; applied per batch inside the Trainer when a
+dataset wraps itself in :class:`AugmentedDataset`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+
+def random_horizontal_flip(images: np.ndarray, rng: np.random.Generator, p: float = 0.5) -> np.ndarray:
+    """Flip a random subset of NCHW images left-right."""
+    flip = rng.random(len(images)) < p
+    out = images.copy()
+    out[flip] = out[flip, :, :, ::-1]
+    return out
+
+
+def random_crop(images: np.ndarray, rng: np.random.Generator, padding: int = 2) -> np.ndarray:
+    """Pad spatially then crop back at a random offset, per image."""
+    n, c, h, w = images.shape
+    padded = np.pad(images, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out = np.empty_like(images)
+    offsets = rng.integers(0, 2 * padding + 1, size=(n, 2))
+    for i, (dy, dx) in enumerate(offsets):
+        out[i] = padded[i, :, dy : dy + h, dx : dx + w]
+    return out
+
+
+class AugmentedDataset:
+    """A dataset view that augments every *shuffled* training batch.
+
+    Evaluation iterations (``shuffle=False``) pass through untouched, so
+    accuracy measurements stay deterministic.
+    """
+
+    def __init__(self, base, padding: int = 2, flip_p: float = 0.5, seed: int = 0):
+        self.base = base
+        self.padding = padding
+        self.flip_p = flip_p
+        self._rng = np.random.default_rng(seed)
+
+    # Pass-through attributes the Trainer and evaluators rely on.
+    @property
+    def images(self) -> np.ndarray:
+        return self.base.images
+
+    @property
+    def labels(self) -> np.ndarray:
+        return self.base.labels
+
+    @property
+    def num_classes(self) -> int:
+        return self.base.num_classes
+
+    @property
+    def image_size(self) -> int:
+        return self.base.image_size
+
+    @property
+    def channels(self) -> int:
+        return self.base.channels
+
+    @property
+    def name(self) -> str:
+        return f"{self.base.name}+aug"
+
+    def __len__(self) -> int:
+        return len(self.base)
+
+    def iter_batches(
+        self,
+        batch_size: int,
+        shuffle: bool = False,
+        rng: Optional[np.random.Generator] = None,
+        with_indices: bool = False,
+    ) -> Iterator:
+        for batch in self.base.iter_batches(batch_size, shuffle, rng, with_indices):
+            if not shuffle:
+                yield batch
+                continue
+            images = batch[0]
+            augmented = random_horizontal_flip(images, self._rng, self.flip_p)
+            if self.padding > 0:
+                augmented = random_crop(augmented, self._rng, self.padding)
+            yield (augmented, *batch[1:])
+
+    def __repr__(self) -> str:
+        return f"AugmentedDataset({self.base!r})"

@@ -1,0 +1,53 @@
+"""Experiment harnesses regenerating every table and figure of §4."""
+
+from .common import (
+    EXPERIMENTS,
+    TRANSFER_MODELS,
+    ExperimentConfig,
+    make_evaluator,
+    pick_block,
+    run_algorithm,
+    transfer_evaluator,
+)
+from .figure4 import Figure4Result, Figure4Series, run_figure4
+from .paper_reference import (
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    ComparisonRow,
+    compare_table2,
+    format_comparison,
+)
+from .figure5 import Figure5Result, Figure5Series, run_figure5
+from .figure6 import Figure6Result, Figure6Scheme, run_figure6
+from .table2 import Table2Result, Table2Row, run_table2
+from .table3 import Table3Cell, Table3Result, run_table3
+
+__all__ = [
+    "ComparisonRow",
+    "EXPERIMENTS",
+    "ExperimentConfig",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "compare_table2",
+    "format_comparison",
+    "Figure4Result",
+    "Figure4Series",
+    "Figure5Result",
+    "Figure5Series",
+    "Figure6Result",
+    "Figure6Scheme",
+    "TRANSFER_MODELS",
+    "Table2Result",
+    "Table2Row",
+    "Table3Cell",
+    "Table3Result",
+    "make_evaluator",
+    "pick_block",
+    "run_algorithm",
+    "run_figure4",
+    "run_figure5",
+    "run_figure6",
+    "run_table2",
+    "run_table3",
+    "transfer_evaluator",
+]

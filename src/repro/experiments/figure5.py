@@ -1,0 +1,89 @@
+"""Figure 5 reproduction — ablation study (§4.5).
+
+Runs AutoMC and its four variants (AutoMC-KG, AutoMC-NNexp,
+AutoMC-MultipleSource, AutoMC-ProgressiveSearch) on Exp1 and Exp2 under the
+shared budget and reports each variant's trajectory and final Pareto front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.ablation import VARIANTS, build_variant
+from ..core.search import SearchResult
+from .common import EXPERIMENTS, ExperimentConfig, make_evaluator
+from .plotting import ascii_scatter
+
+
+@dataclass
+class Figure5Series:
+    experiment: str
+    variant: str
+    best_accuracy: float       # best feasible accuracy at the end (fraction)
+    hypervolume: float
+    front: List[Tuple[float, float]]  # (PR%, Acc%)
+
+
+@dataclass
+class Figure5Result:
+    series: List[Figure5Series] = field(default_factory=list)
+    searches: Dict[str, Dict[str, SearchResult]] = field(default_factory=dict)
+
+    def of(self, experiment: str, variant: str) -> Optional[Figure5Series]:
+        for s in self.series:
+            if (s.experiment, s.variant) == (experiment, variant):
+                return s
+        return None
+
+    def format(self) -> str:
+        lines = ["Figure 5 — ablation study Pareto results"]
+        for exp_name in EXPERIMENTS:
+            lines.append("")
+            lines.append(f"== {exp_name} ==")
+            lines.append(f"{'variant':<26s}{'best acc(%)':>12s}{'hypervolume':>13s}{'front':>7s}")
+            for s in self.series:
+                if s.experiment != exp_name:
+                    continue
+                lines.append(
+                    f"{s.variant:<26s}{100 * s.best_accuracy:>12.2f}"
+                    f"{s.hypervolume:>13.4f}{len(s.front):>7d}"
+                )
+            front_series = {
+                s.variant: s.front for s in self.series if s.experiment == exp_name
+            }
+            lines.append("")
+            lines.append(ascii_scatter(front_series, x_label="PR (%)", y_label="Acc (%)"))
+        return "\n".join(lines)
+
+
+def run_figure5(config: Optional[ExperimentConfig] = None) -> Figure5Result:
+    """Regenerate Figure 5's data (5 variants x 2 experiments)."""
+    config = config or ExperimentConfig()
+    figure = Figure5Result()
+    for exp_name, (model_name, dataset_name, task) in EXPERIMENTS.items():
+        figure.searches[exp_name] = {}
+        for variant in VARIANTS:
+            evaluator = make_evaluator(model_name, dataset_name, task, seed=config.seed)
+            searcher = build_variant(
+                variant,
+                evaluator,
+                gamma=0.3,
+                budget_hours=config.budget_hours,
+                seed=config.seed,
+                embedding_rounds=config.embedding_rounds,
+                progressive_config=config.progressive_config(),
+            )
+            search = searcher.run()
+            figure.searches[exp_name][variant] = search
+            last = search.trajectory[-1] if search.trajectory else None
+            figure.series.append(
+                Figure5Series(
+                    experiment=exp_name,
+                    variant=variant,
+                    best_accuracy=last.best_accuracy if last else 0.0,
+                    hypervolume=last.hypervolume if last else 0.0,
+                    front=[(100 * r.pr, 100 * r.accuracy) for r in search.front],
+                )
+            )
+    return figure

@@ -1,0 +1,173 @@
+"""The paper's reported numbers, as data.
+
+Table 2 and Table 3 of the paper transcribed verbatim so harness outputs can
+be diffed against them programmatically — :func:`compare_table2` renders a
+side-by-side paper-vs-measured report used by the benchmarks and
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .table2 import Table2Result
+
+#: Table 2 rows: (experiment, block, algorithm) ->
+#: (params_m, pr_pct, flops_g, fr_pct, acc_pct, inc_pct)
+PAPER_TABLE2: Dict[Tuple[str, str, str], Tuple[float, float, float, float, float, float]] = {
+    ("Exp1", "base", "baseline"): (0.90, 0.0, 0.27, 0.0, 91.04, 0.0),
+    ("Exp1", "~40", "LMA"): (0.53, 41.74, 0.15, 42.93, 79.61, -12.56),
+    ("Exp1", "~40", "LeGR"): (0.54, 40.02, 0.20, 25.76, 90.69, -0.38),
+    ("Exp1", "~40", "NS"): (0.54, 40.02, 0.12, 55.68, 89.19, -2.03),
+    ("Exp1", "~40", "SFP"): (0.55, 38.52, 0.17, 36.54, 88.24, -3.07),
+    ("Exp1", "~40", "HOS"): (0.53, 40.97, 0.15, 42.55, 90.18, -0.95),
+    ("Exp1", "~40", "LFB"): (0.54, 40.19, 0.14, 46.12, 89.99, -1.15),
+    ("Exp1", "~40", "Evolution"): (0.45, 49.87, 0.14, 48.83, 91.77, 0.80),
+    ("Exp1", "~40", "AutoMC"): (0.55, 39.17, 0.18, 31.61, 92.61, 1.73),
+    ("Exp1", "~40", "RL"): (0.20, 77.69, 0.07, 75.09, 87.23, -4.18),
+    ("Exp1", "~40", "Random"): (0.22, 75.95, 0.06, 77.18, 79.50, -12.43),
+    ("Exp1", "~70", "LMA"): (0.27, 70.40, 0.08, 72.09, 75.25, -17.35),
+    ("Exp1", "~70", "LeGR"): (0.27, 70.03, 0.16, 41.56, 85.88, -5.67),
+    ("Exp1", "~70", "NS"): (0.27, 70.05, 0.06, 78.77, 85.73, -5.83),
+    ("Exp1", "~70", "SFP"): (0.29, 68.07, 0.09, 67.24, 86.94, -4.51),
+    ("Exp1", "~70", "HOS"): (0.28, 68.88, 0.10, 63.31, 89.28, -1.93),
+    ("Exp1", "~70", "LFB"): (0.27, 70.03, 0.08, 71.96, 90.35, -0.76),
+    ("Exp1", "~70", "Evolution"): (0.44, 51.47, 0.10, 63.66, 89.21, -2.01),
+    ("Exp1", "~70", "AutoMC"): (0.28, 68.43, 0.10, 62.44, 92.18, 1.25),
+    ("Exp1", "~70", "RL"): (0.44, 51.52, 0.10, 63.15, 88.30, -3.01),
+    ("Exp1", "~70", "Random"): (0.43, 51.98, 0.13, 52.53, 88.36, -2.94),
+    ("Exp2", "base", "baseline"): (14.77, 0.0, 0.63, 0.0, 70.03, 0.0),
+    ("Exp2", "~40", "LMA"): (8.85, 40.11, 0.38, 40.26, 42.11, -39.87),
+    ("Exp2", "~40", "LeGR"): (8.87, 39.99, 0.56, 11.55, 69.97, -0.08),
+    ("Exp2", "~40", "NS"): (8.87, 40.00, 0.42, 33.71, 70.01, -0.03),
+    ("Exp2", "~40", "SFP"): (8.90, 39.73, 0.38, 39.31, 69.62, -0.58),
+    ("Exp2", "~40", "HOS"): (8.87, 39.99, 0.38, 39.51, 64.34, -8.12),
+    ("Exp2", "~40", "LFB"): (9.40, 36.21, 0.04, 93.00, 60.94, -13.04),
+    ("Exp2", "~40", "Evolution"): (8.11, 45.11, 0.36, 42.54, 69.03, -1.43),
+    ("Exp2", "~40", "AutoMC"): (8.18, 44.67, 0.42, 33.23, 70.73, 0.99),
+    ("Exp2", "~40", "RL"): (8.11, 45.11, 0.44, 29.94, 63.23, -9.70),
+    ("Exp2", "~40", "Random"): (8.10, 45.15, 0.33, 47.80, 68.45, -2.25),
+    ("Exp2", "~70", "LMA"): (4.44, 69.98, 0.19, 69.90, 41.51, -40.73),
+    ("Exp2", "~70", "LeGR"): (4.43, 69.99, 0.45, 28.35, 69.06, -1.38),
+    ("Exp2", "~70", "NS"): (4.43, 70.01, 0.27, 56.77, 68.98, -1.50),
+    ("Exp2", "~70", "SFP"): (4.47, 69.72, 0.19, 69.22, 68.15, -2.68),
+    ("Exp2", "~70", "HOS"): (4.43, 70.05, 0.22, 64.29, 62.66, -10.52),
+    ("Exp2", "~70", "LFB"): (6.27, 57.44, 0.03, 95.20, 57.88, -17.35),
+    ("Exp2", "~70", "Evolution"): (4.14, 72.01, 0.22, 64.30, 60.47, -13.64),
+    ("Exp2", "~70", "AutoMC"): (4.19, 71.67, 0.32, 49.31, 70.10, 0.11),
+    ("Exp2", "~70", "RL"): (4.20, 71.60, 0.19, 69.08, 51.20, -27.13),
+    ("Exp2", "~70", "Random"): (5.03, 65.94, 0.28, 55.37, 51.76, -25.87),
+}
+
+#: Table 3 rows: (algorithm, model) -> (pr_pct, fr_pct, acc_pct)
+PAPER_TABLE3: Dict[Tuple[str, str], Tuple[float, float, float]] = {
+    ("LMA", "resnet20"): (41.74, 42.84, 77.61),
+    ("LMA", "resnet56"): (41.74, 42.93, 79.61),
+    ("LMA", "resnet164"): (41.74, 42.96, 58.21),
+    ("LMA", "vgg13"): (40.07, 40.29, 47.16),
+    ("LMA", "vgg16"): (40.11, 40.26, 42.11),
+    ("LMA", "vgg19"): (40.12, 40.25, 40.02),
+    ("LeGR", "resnet20"): (39.86, 21.20, 89.20),
+    ("LeGR", "resnet56"): (40.02, 25.76, 90.69),
+    ("LeGR", "resnet164"): (39.99, 33.11, 83.93),
+    ("LeGR", "vgg13"): (40.00, 12.15, 70.80),
+    ("LeGR", "vgg16"): (39.99, 11.55, 69.97),
+    ("LeGR", "vgg19"): (39.99, 11.66, 69.64),
+    ("NS", "resnet20"): (40.05, 44.12, 88.78),
+    ("NS", "resnet56"): (40.02, 55.68, 89.19),
+    ("NS", "resnet164"): (39.98, 51.13, 83.84),
+    ("NS", "vgg13"): (40.01, 31.19, 70.48),
+    ("NS", "vgg16"): (40.00, 33.71, 70.01),
+    ("NS", "vgg19"): (40.00, 41.34, 69.34),
+    ("SFP", "resnet20"): (38.30, 35.49, 87.81),
+    ("SFP", "resnet56"): (38.52, 36.54, 88.24),
+    ("SFP", "resnet164"): (38.58, 36.88, 82.06),
+    ("SFP", "vgg13"): (39.68, 39.16, 70.69),
+    ("SFP", "vgg16"): (39.73, 39.31, 69.62),
+    ("SFP", "vgg19"): (39.76, 39.40, 69.42),
+    ("HOS", "resnet20"): (40.12, 39.66, 88.81),
+    ("HOS", "resnet56"): (40.97, 42.55, 90.18),
+    ("HOS", "resnet164"): (41.16, 43.50, 84.12),
+    ("HOS", "vgg13"): (40.06, 39.36, 64.13),
+    ("HOS", "vgg16"): (39.99, 39.51, 64.34),
+    ("HOS", "vgg19"): (40.01, 39.13, 63.37),
+    ("LFB", "resnet20"): (40.38, 45.80, 91.57),
+    ("LFB", "resnet56"): (40.19, 46.12, 89.99),
+    ("LFB", "resnet164"): (40.09, 76.76, 24.17),
+    ("LFB", "vgg13"): (37.82, 92.92, 63.04),
+    ("LFB", "vgg16"): (36.21, 93.00, 60.94),
+    ("LFB", "vgg19"): (35.46, 93.05, 56.27),
+    ("Evolution", "resnet20"): (49.50, 46.66, 89.95),
+    ("Evolution", "resnet56"): (49.87, 48.83, 91.77),
+    ("Evolution", "resnet164"): (49.95, 49.44, 87.69),
+    ("Evolution", "vgg13"): (45.15, 35.58, 62.95),
+    ("Evolution", "vgg16"): (45.11, 42.54, 69.03),
+    ("Evolution", "vgg19"): (45.19, 36.64, 63.30),
+    ("Random", "resnet20"): (75.94, 74.44, 78.38),
+    ("Random", "resnet56"): (75.95, 77.18, 79.50),
+    ("Random", "resnet164"): (75.91, 78.08, 59.37),
+    ("Random", "vgg13"): (45.18, 24.04, 62.02),
+    ("Random", "vgg16"): (45.15, 47.80, 68.45),
+    ("Random", "vgg19"): (45.11, 33.06, 68.81),
+    ("RL", "resnet20"): (77.87, 69.05, 84.28),
+    ("RL", "resnet56"): (77.69, 75.09, 87.23),
+    ("RL", "resnet164"): (77.23, 83.27, 74.21),
+    ("RL", "vgg13"): (45.20, 26.00, 62.36),
+    ("RL", "vgg16"): (45.11, 29.94, 63.23),
+    ("RL", "vgg19"): (45.14, 38.78, 68.31),
+    ("AutoMC", "resnet20"): (38.73, 30.00, 91.42),
+    ("AutoMC", "resnet56"): (39.17, 31.61, 92.61),
+    ("AutoMC", "resnet164"): (39.30, 40.76, 88.50),
+    ("AutoMC", "vgg13"): (44.60, 34.43, 71.77),
+    ("AutoMC", "vgg16"): (44.67, 33.23, 70.73),
+    ("AutoMC", "vgg19"): (44.68, 35.09, 70.56),
+}
+
+
+@dataclass
+class ComparisonRow:
+    experiment: str
+    block: str
+    algorithm: str
+    paper_acc: float
+    measured_acc: Optional[float]
+
+    @property
+    def delta(self) -> Optional[float]:
+        if self.measured_acc is None:
+            return None
+        return self.measured_acc - self.paper_acc
+
+
+def compare_table2(table2: Table2Result) -> List[ComparisonRow]:
+    """Per-row paper-vs-measured accuracy deltas for Table 2."""
+    rows = []
+    for (exp, block, algorithm), reference in PAPER_TABLE2.items():
+        if block == "base":
+            continue
+        measured = table2.lookup(exp, block, algorithm)
+        rows.append(
+            ComparisonRow(
+                experiment=exp,
+                block=block,
+                algorithm=algorithm,
+                paper_acc=reference[4],
+                measured_acc=100 * measured.accuracy if measured else None,
+            )
+        )
+    return rows
+
+
+def format_comparison(rows: List[ComparisonRow]) -> str:
+    """Readable paper-vs-measured accuracy report."""
+    lines = ["Paper vs measured accuracy (%, Table 2 rows)"]
+    lines.append(f"{'exp':<5s}{'block':<7s}{'algorithm':<11s}{'paper':>8s}{'ours':>8s}{'delta':>8s}")
+    for row in rows:
+        ours = f"{row.measured_acc:8.2f}" if row.measured_acc is not None else "      --"
+        delta = f"{row.delta:+8.2f}" if row.delta is not None else "      --"
+        lines.append(
+            f"{row.experiment:<5s}{row.block:<7s}{row.algorithm:<11s}"
+            f"{row.paper_acc:8.2f}{ours}{delta}"
+        )
+    return "\n".join(lines)

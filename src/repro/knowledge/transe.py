@@ -1,0 +1,95 @@
+"""TransE knowledge-graph embedding (Bordes et al., NeurIPS 2013).
+
+A simpler alternative to TransR kept for the design-choice ablation
+benchmarks: entities and relations share one space and a true triplet should
+satisfy ``e_h + e_r ≈ e_t`` (no per-relation projection).  The paper picks
+TransR because the five relation types of G connect entities of different
+kinds; comparing against TransE quantifies how much that choice matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+
+@dataclass
+class TransEConfig:
+    dim: int = 32
+    margin: float = 1.0
+    learning_rate: float = 0.01
+    batch_size: int = 512
+    seed: int = 0
+
+
+class TransE:
+    """Margin-ranking TransE trainer over integer triplet arrays."""
+
+    def __init__(self, num_entities: int, num_relations: int, config: Optional[TransEConfig] = None):
+        self.config = config or TransEConfig()
+        rng = np.random.default_rng(self.config.seed)
+        bound = 6.0 / np.sqrt(self.config.dim)
+        self.entities = rng.uniform(-bound, bound, size=(num_entities, self.config.dim))
+        self.relations = rng.uniform(-bound, bound, size=(num_relations, self.config.dim))
+        self._normalize()
+        self._rng = rng
+        self.loss_history: List[float] = []
+
+    def _normalize(self) -> None:
+        norms = np.linalg.norm(self.entities, axis=1, keepdims=True)
+        np.divide(self.entities, np.maximum(norms, 1.0), out=self.entities)
+
+    def score(self, heads: np.ndarray, rels: np.ndarray, tails: np.ndarray) -> np.ndarray:
+        diff = self.entities[heads] + self.relations[rels] - self.entities[tails]
+        return (diff ** 2).sum(axis=1)
+
+    def train_epoch(self, triplets: np.ndarray) -> float:
+        cfg = self.config
+        rng = self._rng
+        order = rng.permutation(len(triplets))
+        total = 0.0
+        n_entities = len(self.entities)
+        for start in range(0, len(order), cfg.batch_size):
+            batch = triplets[order[start : start + cfg.batch_size]]
+            heads, rels, tails = batch[:, 0], batch[:, 1], batch[:, 2]
+            corrupt_head = rng.random(len(batch)) < 0.5
+            random_entities = rng.integers(0, n_entities, size=len(batch))
+            neg_heads = np.where(corrupt_head, random_entities, heads)
+            neg_tails = np.where(corrupt_head, tails, random_entities)
+
+            pos = self.score(heads, rels, tails)
+            neg = self.score(neg_heads, rels, neg_tails)
+            violation = cfg.margin + pos - neg
+            active = violation > 0
+            total += float(violation[active].sum())
+            if not active.any():
+                continue
+            self._step(heads[active], rels[active], tails[active],
+                       neg_heads[active], neg_tails[active])
+        self._normalize()
+        self.loss_history.append(total / max(len(triplets), 1))
+        return self.loss_history[-1]
+
+    def _step(self, heads, rels, tails, neg_heads, neg_tails) -> None:
+        lr = self.config.learning_rate
+        ent_grad = np.zeros_like(self.entities)
+        ent_count = np.zeros(len(self.entities))
+        rel_grad = np.zeros_like(self.relations)
+        rel_count = np.zeros(len(self.relations))
+        for sign, h_idx, t_idx in ((1.0, heads, tails), (-1.0, neg_heads, neg_tails)):
+            u = 2.0 * (self.entities[h_idx] + self.relations[rels] - self.entities[t_idx])
+            np.add.at(ent_grad, h_idx, sign * u)
+            np.add.at(ent_grad, t_idx, -sign * u)
+            np.add.at(ent_count, h_idx, 1.0)
+            np.add.at(ent_count, t_idx, 1.0)
+            np.add.at(rel_grad, rels, sign * u)
+            np.add.at(rel_count, rels, 1.0)
+        self.entities -= lr * ent_grad / np.maximum(ent_count, 1.0)[:, None]
+        self.relations -= lr * rel_grad / np.maximum(rel_count, 1.0)[:, None]
+
+    def fit(self, triplets: np.ndarray, epochs: int = 20) -> List[float]:
+        for _ in range(epochs):
+            self.train_epoch(triplets)
+        return self.loss_history

@@ -1,0 +1,37 @@
+"""Model zoo: CIFAR-style ResNets and VGGs with pruning-graph support."""
+
+from .pruning import PrunableUnit
+from .registry import available_models, create_model, register_model
+from .resnet import (
+    Bottleneck,
+    BottleneckResNet,
+    ResNet,
+    resnet8,
+    resnet20,
+    resnet29_bottleneck,
+    resnet56,
+    resnet164,
+    resnet164_bottleneck,
+)
+from .vgg import VGG, vgg8_tiny, vgg13, vgg16, vgg19
+
+__all__ = [
+    "Bottleneck",
+    "BottleneckResNet",
+    "PrunableUnit",
+    "ResNet",
+    "VGG",
+    "available_models",
+    "create_model",
+    "register_model",
+    "resnet8",
+    "resnet20",
+    "resnet29_bottleneck",
+    "resnet56",
+    "resnet164",
+    "resnet164_bottleneck",
+    "vgg8_tiny",
+    "vgg13",
+    "vgg16",
+    "vgg19",
+]

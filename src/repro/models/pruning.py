@@ -1,0 +1,41 @@
+"""The *pruning graph* protocol shared by all models.
+
+A model that supports structural compression exposes ``pruning_units()``
+returning a list of :class:`PrunableUnit`.  Each unit names a group of
+channels that can be removed together:
+
+* ``producer`` — the layer whose output channels are candidates for removal
+  (its filters are deleted);
+* ``bn`` — the batch-norm directly normalising those channels (its per-channel
+  statistics and affine parameters are deleted too), if any;
+* ``consumers`` — every downstream layer whose *input* channels correspond
+  one-to-one to the producer's outputs (their input slices are deleted).
+
+The surgery functions in :mod:`repro.compression.surgery` operate purely on
+this protocol, so models and factorised replacement layers only need to
+support ``shrink_output`` / ``shrink_input`` semantics to participate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..nn import BatchNorm2d, Module
+
+
+@dataclass
+class PrunableUnit:
+    """A channel group that may be structurally removed as one unit."""
+
+    name: str
+    producer: Module
+    bn: Optional[BatchNorm2d]
+    consumers: List[Module] = field(default_factory=list)
+
+    @property
+    def out_channels(self) -> int:
+        return self.producer.weight.shape[0]
+
+    def __repr__(self) -> str:
+        return f"PrunableUnit({self.name}, channels={self.out_channels})"

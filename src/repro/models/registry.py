@@ -1,0 +1,50 @@
+"""Named factory registry for the model zoo.
+
+Benchmarks and examples reference models by name (``"resnet56"``) so configs
+stay serialisable; :func:`create_model` builds one with a given class count.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..nn import Module
+from .resnet import (
+    resnet8,
+    resnet20,
+    resnet29_bottleneck,
+    resnet56,
+    resnet164,
+    resnet164_bottleneck,
+)
+from .vgg import vgg8_tiny, vgg13, vgg16, vgg19
+
+_REGISTRY: Dict[str, Callable[..., Module]] = {
+    "resnet8": resnet8,
+    "resnet20": resnet20,
+    "resnet29_bottleneck": resnet29_bottleneck,
+    "resnet56": resnet56,
+    "resnet164": resnet164,
+    "resnet164_bottleneck": resnet164_bottleneck,
+    "vgg8_tiny": vgg8_tiny,
+    "vgg13": vgg13,
+    "vgg16": vgg16,
+    "vgg19": vgg19,
+}
+
+
+def available_models() -> List[str]:
+    """Names accepted by :func:`create_model`."""
+    return sorted(_REGISTRY)
+
+
+def create_model(name: str, num_classes: int = 10, seed: int = 0, **kwargs) -> Module:
+    """Instantiate a registered model by name."""
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown model {name!r}; available: {available_models()}")
+    return _REGISTRY[name](num_classes=num_classes, seed=seed, **kwargs)
+
+
+def register_model(name: str, factory: Callable[..., Module]) -> None:
+    """Add a user model factory to the registry (overwrites duplicates)."""
+    _REGISTRY[name] = factory

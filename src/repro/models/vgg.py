@@ -1,0 +1,136 @@
+"""CIFAR-style VGG networks (VGG-13/16/19) with batch normalisation.
+
+Every convolution's output channels are prunable: each conv feeds exactly the
+next conv (or the classifier after global pooling), so the pruning graph is a
+simple chain.  The classifier is a single Linear over globally pooled
+features, which keeps the parameter count at the value the paper reports
+(VGG-16 / CIFAR-100 = 14.77M params, 0.63 GFLOPs with the 2-FLOPs-per-MAC
+convention).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..nn import (
+    BatchNorm2d,
+    Conv2d,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sequential,
+)
+from ..nn.tensor import Tensor
+from .pruning import PrunableUnit
+
+# Configuration strings: numbers are conv output channels, "M" is 2x2 maxpool.
+VGG_CONFIGS: Dict[int, List[Union[int, str]]] = {
+    8: [64, "M", 128, 128, "M", 256, 256, "M"],
+    11: [64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"],
+    13: [64, 64, "M", 128, 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"],
+    16: [64, 64, "M", 128, 128, "M", 256, 256, 256, "M",
+         512, 512, 512, "M", 512, 512, 512, "M"],
+    19: [64, 64, "M", 128, 128, "M", 256, 256, 256, 256, "M",
+         512, 512, 512, 512, "M", 512, 512, 512, 512, "M"],
+}
+
+
+class VGG(Module):
+    """VGG-BN with global average pooling and a single linear classifier."""
+
+    def __init__(
+        self,
+        depth: int,
+        num_classes: int = 100,
+        width_mult: float = 1.0,
+        in_channels: int = 3,
+        seed: int = 0,
+    ):
+        super().__init__()
+        if depth not in VGG_CONFIGS:
+            raise ValueError(f"unsupported VGG depth {depth}; choose from {sorted(VGG_CONFIGS)}")
+        rng = np.random.default_rng(seed)
+        self.depth = depth
+        self.num_classes = num_classes
+        layers: List[Module] = []
+        channels = in_channels
+        for item in VGG_CONFIGS[depth]:
+            if item == "M":
+                layers.append(MaxPool2d(2))
+            else:
+                width = max(1, int(round(item * width_mult)))
+                layers.append(Conv2d(channels, width, 3, padding=1, bias=False, rng=rng))
+                layers.append(BatchNorm2d(width))
+                layers.append(ReLU())
+                channels = width
+        self.features = Sequential(*layers)
+        self.pool = GlobalAvgPool2d()
+        self.classifier = Linear(channels, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.features(x)
+        out = self.pool(out)
+        return self.classifier(out)
+
+    def _conv_bn_pairs(self) -> List[Tuple[int, Module, Optional[BatchNorm2d]]]:
+        """All conv-like layers (plain or factorised) with their batch norms."""
+        pairs = []
+        modules = list(self.features)
+        for i, module in enumerate(modules):
+            conv_like = isinstance(module, Conv2d) or getattr(module, "is_conv_like", False)
+            if conv_like:
+                bn = modules[i + 1] if i + 1 < len(modules) and isinstance(modules[i + 1], BatchNorm2d) else None
+                pairs.append((i, module, bn))
+        return pairs
+
+    def pruning_units(self) -> List[PrunableUnit]:
+        """A chain: every conv feeds the next conv (or the classifier).
+
+        Factorised layers stay in the chain as consumers but are not offered
+        as prunable producers.
+        """
+        pairs = self._conv_bn_pairs()
+        units = []
+        for idx, (pos, conv, bn) in enumerate(pairs):
+            if not isinstance(conv, Conv2d):
+                continue
+            if idx + 1 < len(pairs):
+                consumer: Module = pairs[idx + 1][1]
+            else:
+                consumer = self.classifier
+            units.append(
+                PrunableUnit(
+                    name=f"features.{pos}",
+                    producer=conv,
+                    bn=bn,
+                    consumers=[consumer],
+                )
+            )
+        return units
+
+    def __repr__(self) -> str:
+        return f"VGG(depth={self.depth}, classes={self.num_classes})"
+
+
+def vgg13(num_classes: int = 100, width_mult: float = 1.0, seed: int = 0) -> VGG:
+    return VGG(13, num_classes=num_classes, width_mult=width_mult, seed=seed)
+
+
+def vgg16(num_classes: int = 100, width_mult: float = 1.0, seed: int = 0) -> VGG:
+    return VGG(16, num_classes=num_classes, width_mult=width_mult, seed=seed)
+
+
+def vgg19(num_classes: int = 100, width_mult: float = 1.0, seed: int = 0) -> VGG:
+    return VGG(19, num_classes=num_classes, width_mult=width_mult, seed=seed)
+
+
+def vgg8_tiny(num_classes: int = 10, width_mult: float = 0.125, seed: int = 0) -> VGG:
+    """Narrow, shallow VGG for fast tests and real-training examples.
+
+    Three pooling stages, so it accepts inputs as small as 8x8.
+    """
+    return VGG(8, num_classes=num_classes, width_mult=width_mult, seed=seed)

@@ -1,0 +1,76 @@
+"""From-scratch numpy neural-network substrate used by the AutoMC reproduction.
+
+Public surface:
+
+* :class:`~repro.nn.tensor.Tensor` — reverse-mode autodiff array
+* layer classes (:class:`Conv2d`, :class:`Linear`, :class:`BatchNorm2d`, ...)
+* :mod:`repro.nn.functional` — stateless ops
+* optimizers and LR schedules
+* :class:`~repro.nn.train.Trainer` / :func:`evaluate_accuracy`
+* :func:`~repro.nn.profile.profile_model` — P(M) and F(M) measurement
+"""
+
+from . import functional, init, losses
+from .layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Embedding,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+)
+from .metrics import confusion_matrix, evaluate_metrics, per_class_accuracy, top_k_accuracy
+from .optim import SGD, Adam, CosineSchedule, Optimizer, StepSchedule
+from .profile import ModelProfile, count_flops, count_params, profile_model
+from .serialization import load_model, load_state, save_model
+from .tensor import Tensor, concat, stack, where
+from .train import Trainer, TrainReport, evaluate_accuracy
+
+__all__ = [
+    "AvgPool2d",
+    "Adam",
+    "BatchNorm2d",
+    "Conv2d",
+    "CosineSchedule",
+    "Embedding",
+    "Flatten",
+    "GlobalAvgPool2d",
+    "Identity",
+    "Linear",
+    "MaxPool2d",
+    "ModelProfile",
+    "Module",
+    "Optimizer",
+    "Parameter",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "StepSchedule",
+    "Tensor",
+    "Trainer",
+    "TrainReport",
+    "concat",
+    "confusion_matrix",
+    "count_flops",
+    "count_params",
+    "evaluate_accuracy",
+    "evaluate_metrics",
+    "per_class_accuracy",
+    "top_k_accuracy",
+    "functional",
+    "init",
+    "load_model",
+    "load_state",
+    "losses",
+    "profile_model",
+    "save_model",
+    "stack",
+    "where",
+]

@@ -1,0 +1,222 @@
+"""Neural-network operations built on :mod:`repro.nn.tensor`.
+
+Convolution uses an im2col formulation with a hand-written backward pass (the
+scatter-add of col2im is much faster written explicitly than composed from
+primitive ops).  Everything else — batch norm, softmax, pooling — is composed
+from differentiable :class:`~repro.nn.tensor.Tensor` primitives so autodiff
+derives the gradients.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from .tensor import Tensor
+
+# Optional sink used by repro.nn.profile to count FLOPs during a forward
+# pass.  When set, conv2d/linear call ``_PROFILE_SINK(name, flops)``.
+_PROFILE_SINK = None
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int, stride: int) -> np.ndarray:
+    """(N, C, H, W) -> (N, Ho*Wo, C*kh*kw) patch matrix."""
+    windows = sliding_window_view(x, (kh, kw), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride]  # (N, C, Ho, Wo, kh, kw)
+    n, c, ho, wo = windows.shape[:4]
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n, ho * wo, c * kh * kw)
+    return np.ascontiguousarray(cols)
+
+
+def _col2im(
+    dcols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    out_hw: Tuple[int, int],
+) -> np.ndarray:
+    """Scatter-add patch gradients back to the (padded) input gradient."""
+    n, c, hp, wp = x_shape
+    ho, wo = out_hw
+    dx = np.zeros(x_shape, dtype=dcols.dtype)
+    blocks = dcols.reshape(n, ho, wo, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
+    for i in range(kh):
+        for j in range(kw):
+            dx[:, :, i : i + stride * ho : stride, j : j + stride * wo : stride] += (
+                blocks[:, :, i, j]
+            )
+    return dx
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2D convolution for NCHW input and (F, C, kh, kw) weights."""
+    f, c_w, kh, kw = weight.shape
+    n, c, h, w = x.shape
+    if c != c_w:
+        raise ValueError(f"conv2d channel mismatch: input {c} vs weight {c_w}")
+    xp = np.pad(x.data, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    ho = (h + 2 * padding - kh) // stride + 1
+    wo = (w + 2 * padding - kw) // stride + 1
+    cols = _im2col(xp, kh, kw, stride)  # (N, Ho*Wo, C*kh*kw)
+    wmat = weight.data.reshape(f, -1)  # (F, C*kh*kw)
+    if _PROFILE_SINK is not None:
+        macs = n * ho * wo * f * c * kh * kw
+        _PROFILE_SINK("conv2d", 2 * macs + (n * ho * wo * f if bias is not None else 0))
+    out = cols @ wmat.T  # (N, Ho*Wo, F)
+    if bias is not None:
+        out = out + bias.data
+    out = out.transpose(0, 2, 1).reshape(n, f, ho, wo)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        gout = grad.reshape(n, f, ho * wo).transpose(0, 2, 1)  # (N, Ho*Wo, F)
+        if weight.requires_grad:
+            dw = np.einsum("nlf,nlk->fk", gout, cols).reshape(weight.shape)
+            weight._accumulate(dw)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(gout.sum(axis=(0, 1)))
+        if x.requires_grad:
+            dcols = gout @ wmat  # (N, Ho*Wo, C*kh*kw)
+            dxp = _col2im(dcols, xp.shape, kh, kw, stride, (ho, wo))
+            if padding:
+                dxp = dxp[:, :, padding:-padding, padding:-padding]
+            x._accumulate(dxp)
+
+    requires = any(p.requires_grad for p in parents)
+    result = Tensor(out, requires_grad=requires, _parents=parents if requires else ())
+    if requires:
+        result._backward = backward
+    return result
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` for (N, in) input and (out, in) weight."""
+    if _PROFILE_SINK is not None:
+        macs = int(np.prod(x.shape[:-1])) * weight.shape[0] * weight.shape[1]
+        _PROFILE_SINK("linear", 2 * macs)
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def max_pool2d(x: Tensor, kernel: int = 2, stride: Optional[int] = None) -> Tensor:
+    """Max pooling over NCHW spatial dims."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    windows = sliding_window_view(x.data, (kernel, kernel), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride]  # (N, C, Ho, Wo, k, k)
+    ho, wo = windows.shape[2], windows.shape[3]
+    flat = windows.reshape(n, c, ho, wo, kernel * kernel)
+    arg = flat.argmax(axis=-1)
+    out = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+
+    def backward(grad: np.ndarray) -> None:
+        dx = np.zeros_like(x.data)
+        ki, kj = np.divmod(arg, kernel)
+        ii = (np.arange(ho) * stride)[None, None, :, None] + ki
+        jj = (np.arange(wo) * stride)[None, None, None, :] + kj
+        nn_idx = np.arange(n)[:, None, None, None]
+        cc_idx = np.arange(c)[None, :, None, None]
+        np.add.at(dx, (nn_idx, cc_idx, ii, jj), grad)
+        x._accumulate(dx)
+
+    result = Tensor(out, requires_grad=x.requires_grad, _parents=(x,) if x.requires_grad else ())
+    if x.requires_grad:
+        result._backward = backward
+    return result
+
+
+def avg_pool2d(x: Tensor, kernel: int = 2, stride: Optional[int] = None) -> Tensor:
+    """Average pooling (non-overlapping fast path when stride == kernel)."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    if stride == kernel and h % kernel == 0 and w % kernel == 0:
+        reshaped = x.reshape(n, c, h // kernel, kernel, w // kernel, kernel)
+        return reshaped.mean(axis=5).mean(axis=3)
+    windows = sliding_window_view(x.data, (kernel, kernel), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride]
+    ho, wo = windows.shape[2], windows.shape[3]
+    out = windows.mean(axis=(4, 5))
+
+    def backward(grad: np.ndarray) -> None:
+        dx = np.zeros_like(x.data)
+        share = grad / (kernel * kernel)
+        for i in range(kernel):
+            for j in range(kernel):
+                dx[:, :, i : i + stride * ho : stride, j : j + stride * wo : stride] += share
+        x._accumulate(dx)
+
+    result = Tensor(out, requires_grad=x.requires_grad, _parents=(x,) if x.requires_grad else ())
+    if x.requires_grad:
+        result._backward = backward
+    return result
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Average over the spatial dims of NCHW, returning (N, C)."""
+    return x.mean(axis=(2, 3))
+
+
+def batch_norm(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    training: bool,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Batch normalisation over channel dim of NCHW (or feature dim of NF).
+
+    ``running_mean``/``running_var`` are updated in place during training.
+    """
+    axes = (0, 2, 3) if x.ndim == 4 else (0,)
+    shape = (1, -1, 1, 1) if x.ndim == 4 else (1, -1)
+    if training:
+        mean = x.mean(axis=axes, keepdims=True)
+        var = x.var(axis=axes, keepdims=True)
+        running_mean *= 1.0 - momentum
+        running_mean += momentum * mean.data.reshape(-1)
+        running_var *= 1.0 - momentum
+        running_var += momentum * var.data.reshape(-1)
+        x_hat = (x - mean) / (var + eps).sqrt()
+    else:
+        mean = running_mean.reshape(shape)
+        var = running_var.reshape(shape)
+        x_hat = (x - mean) * (1.0 / np.sqrt(var + eps))
+    return x_hat * gamma.reshape(shape) + beta.reshape(shape)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - x.data.max(axis=axis, keepdims=True)
+    e = shifted.exp()
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - x.data.max(axis=axis, keepdims=True)
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout; identity at eval time."""
+    if not training or p <= 0:
+        return x
+    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+def flatten(x: Tensor) -> Tensor:
+    return x.reshape(x.shape[0], -1)

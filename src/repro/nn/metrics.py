@@ -1,0 +1,67 @@
+"""Evaluation metrics beyond top-1 accuracy.
+
+Used by the examples and available to library users profiling compressed
+models: top-k accuracy, per-class accuracy, and confusion matrices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from .layers import Module
+from .tensor import Tensor
+
+
+def top_k_accuracy(logits: np.ndarray, targets: np.ndarray, k: int = 5) -> float:
+    """Fraction of rows whose true label is among the k largest logits."""
+    k = min(k, logits.shape[-1])
+    top = np.argpartition(-logits, k - 1, axis=-1)[:, :k]
+    hits = (top == np.asarray(targets)[:, None]).any(axis=1)
+    return float(hits.mean())
+
+
+def confusion_matrix(
+    predictions: np.ndarray, targets: np.ndarray, num_classes: int
+) -> np.ndarray:
+    """(num_classes, num_classes) counts; rows = true class, cols = predicted."""
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (np.asarray(targets), np.asarray(predictions)), 1)
+    return matrix
+
+
+def per_class_accuracy(matrix: np.ndarray) -> np.ndarray:
+    """Diagonal recall per class from a confusion matrix (NaN if unseen)."""
+    totals = matrix.sum(axis=1).astype(np.float64)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(totals > 0, np.diag(matrix) / totals, np.nan)
+
+
+def evaluate_metrics(
+    model: Module,
+    dataset,
+    batch_size: int = 64,
+    top_k: int = 5,
+) -> Dict[str, object]:
+    """Full evaluation pass: top-1/top-k accuracy + confusion matrix."""
+    was_training = model.training
+    model.eval()
+    num_classes = dataset.num_classes
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    topk_hits = 0
+    total = 0
+    for xb, yb in dataset.iter_batches(batch_size, shuffle=False):
+        logits = model(Tensor(xb)).data
+        predictions = logits.argmax(axis=-1)
+        matrix += confusion_matrix(predictions, yb, num_classes)
+        topk_hits += int(round(top_k_accuracy(logits, yb, top_k) * len(yb)))
+        total += len(yb)
+    model.train(was_training)
+    accuracy = float(np.trace(matrix)) / max(total, 1)
+    return {
+        "accuracy": accuracy,
+        f"top{top_k}_accuracy": topk_hits / max(total, 1),
+        "confusion_matrix": matrix,
+        "per_class_accuracy": per_class_accuracy(matrix),
+    }

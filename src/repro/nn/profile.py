@@ -1,0 +1,69 @@
+"""Parameter and FLOP accounting — the P(M) and F(M) of the paper (§3.1).
+
+FLOPs are measured by running one forward pass on a single dummy input while
+a counting sink is installed in :mod:`repro.nn.functional`.  Multiply-adds
+are counted as two FLOPs (the convention that makes the paper's VGG-16 /
+CIFAR figure come out at 0.63 GFLOPs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from . import functional as F
+from .layers import Module
+from .tensor import Tensor
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """Static cost profile of a model on a given input resolution."""
+
+    params: int
+    flops: int
+
+    @property
+    def params_m(self) -> float:
+        """Parameter count in millions."""
+        return self.params / 1e6
+
+    @property
+    def flops_g(self) -> float:
+        """FLOPs per input sample, in billions."""
+        return self.flops / 1e9
+
+    def __str__(self) -> str:
+        return f"{self.params_m:.2f}M params, {self.flops_g:.3f}G FLOPs"
+
+
+def count_params(model: Module) -> int:
+    """Total trainable parameter count of a model."""
+    return model.num_parameters()
+
+
+def count_flops(model: Module, input_shape: Tuple[int, int, int]) -> int:
+    """FLOPs of one forward pass on a single input of ``input_shape`` (CHW)."""
+    totals: Dict[str, int] = {}
+
+    def sink(name: str, flops: int) -> None:
+        totals[name] = totals.get(name, 0) + flops
+
+    was_training = model.training
+    model.eval()
+    dummy = Tensor(np.zeros((1, *input_shape)))
+    previous = F._PROFILE_SINK
+    F._PROFILE_SINK = sink
+    try:
+        model(dummy)
+    finally:
+        F._PROFILE_SINK = previous
+        model.train(was_training)
+    return sum(totals.values())
+
+
+def profile_model(model: Module, input_shape: Tuple[int, int, int] = (3, 32, 32)) -> ModelProfile:
+    """Measure both the parameter count and per-sample FLOPs of ``model``."""
+    return ModelProfile(params=count_params(model), flops=count_flops(model, input_shape))

@@ -1,0 +1,44 @@
+"""Model checkpointing: save/load state dicts as ``.npz`` archives.
+
+Structural surgery changes array shapes, so a checkpoint also records each
+parameter's shape implicitly; :func:`load_model` therefore only works on a
+model with the *same structure* (use :func:`save_model` / :func:`load_model`
+around a compression run, or re-apply the scheme to rebuild the structure).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from .layers import Module
+
+#: npz keys cannot contain "/" cleanly across platforms; dots are fine.
+_PREFIX = "state."
+
+
+def save_model(model: Module, path: str) -> None:
+    """Serialize a model's parameters and buffers to ``path`` (.npz)."""
+    state = model.state_dict()
+    arrays = {_PREFIX + name: value for name, value in state.items()}
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(path, **arrays)
+
+
+def load_state(path: str) -> Dict[str, np.ndarray]:
+    """Read a checkpoint back into a plain state dict."""
+    with np.load(path) as archive:
+        return {
+            key[len(_PREFIX):]: archive[key]
+            for key in archive.files
+            if key.startswith(_PREFIX)
+        }
+
+
+def load_model(model: Module, path: str) -> Module:
+    """Load a checkpoint into ``model`` (shapes must match) and return it."""
+    model.load_state_dict(load_state(path))
+    return model

@@ -1,0 +1,114 @@
+"""Training and evaluation loops for the numpy substrate.
+
+:class:`Trainer` is the single place where gradient training happens; the
+compression methods (fine-tuning, distillation, SFP's prune-while-training
+loop) all drive it through small callbacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from .layers import Module
+from .losses import cross_entropy
+from .optim import SGD, CosineSchedule, Optimizer
+from .tensor import Tensor
+
+
+@dataclass
+class TrainReport:
+    """Summary of one training run."""
+
+    epochs: int
+    steps: int
+    losses: List[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+
+def evaluate_accuracy(model: Module, dataset, batch_size: int = 64) -> float:
+    """Top-1 accuracy of ``model`` on ``dataset`` (fraction in [0, 1])."""
+    was_training = model.training
+    model.eval()
+    correct = 0
+    total = 0
+    for xb, yb in dataset.iter_batches(batch_size, shuffle=False):
+        logits = model(Tensor(xb)).data
+        correct += int((logits.argmax(axis=-1) == yb).sum())
+        total += len(yb)
+    model.train(was_training)
+    return correct / max(total, 1)
+
+
+class Trainer:
+    """Mini-batch gradient trainer with pluggable loss and per-step hooks."""
+
+    def __init__(
+        self,
+        lr: float = 0.05,
+        momentum: float = 0.9,
+        weight_decay: float = 5e-4,
+        batch_size: int = 32,
+        seed: int = 0,
+        cosine: bool = True,
+    ):
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.batch_size = batch_size
+        self.seed = seed
+        self.cosine = cosine
+
+    def fit(
+        self,
+        model: Module,
+        dataset,
+        epochs: float,
+        loss_fn: Optional[Callable[[Tensor, np.ndarray, np.ndarray], Tensor]] = None,
+        step_hook: Optional[Callable[[Module, int], None]] = None,
+        optimizer: Optional[Optimizer] = None,
+    ) -> TrainReport:
+        """Train ``model`` on ``dataset`` for ``epochs`` (may be fractional).
+
+        ``loss_fn(logits, targets, batch_indices)`` defaults to cross-entropy;
+        ``step_hook(model, step)`` runs after every optimizer step (used by
+        SFP to re-zero pruned filters).
+        """
+        if loss_fn is None:
+            loss_fn = lambda logits, targets, idx: cross_entropy(logits, targets)
+        model.train()
+        opt = optimizer or SGD(
+            model.parameters(),
+            lr=self.lr,
+            momentum=self.momentum,
+            weight_decay=self.weight_decay,
+        )
+        steps_per_epoch = max(1, int(np.ceil(len(dataset) / self.batch_size)))
+        total_steps = max(1, int(round(epochs * steps_per_epoch)))
+        schedule = CosineSchedule(opt, total_steps) if self.cosine else None
+        report = TrainReport(epochs=int(np.ceil(epochs)), steps=total_steps)
+        rng = np.random.default_rng(self.seed)
+        step = 0
+        while step < total_steps:
+            for xb, yb, idx in dataset.iter_batches(
+                self.batch_size, shuffle=True, rng=rng, with_indices=True
+            ):
+                logits = model(Tensor(xb))
+                loss = loss_fn(logits, yb, idx)
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+                if schedule is not None:
+                    schedule.step()
+                if step_hook is not None:
+                    step_hook(model, step)
+                report.losses.append(loss.item())
+                step += 1
+                if step >= total_steps:
+                    break
+        return report

@@ -1,0 +1,217 @@
+"""The calibrated accuracy response surface for paper-scale experiments.
+
+:class:`AccuracyModel` answers one question: *given the current simulated
+accuracy, what does executing one compression strategy do to it?*  The model
+combines
+
+* the per-(method, model, dataset) damage curves fitted to the paper's
+  Table 2/3 anchors (:mod:`repro.sim.calibration`);
+* a fine-tuning recovery factor — the anchors correspond to generous
+  fine-tuning (HP1 = 0.5); skimping on epochs inflates damage;
+* secondary-hyperparameter modifiers — each non-budget HP has a
+  task-dependent preferred value; wrong settings multiply damage;
+* a step-granularity factor — many small steps damage slightly less than
+  one equivalent big step (the paper's §4.2 observation (1));
+* a method-diversity factor — following a *different* method's step removes
+  a different kind of redundancy and damages less (observation (2));
+* a recovery bonus — small, well-fine-tuned steps can push accuracy *above*
+  the baseline, capped by a per-task headroom (AutoMC's +1.57pp on Exp1);
+* seeded Gaussian evaluation noise.
+
+Parameters and FLOPs are never modelled here — they are measured on the
+really-compressed models.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..space.hyperparams import HP_GRID
+from .calibration import (
+    ACCURACY_HEADROOM,
+    BASELINE_ACCURACY,
+    MethodCurve,
+    method_curve,
+)
+
+_DATASET_CLASSES = {"cifar10": 10, "cifar100": 100}
+
+#: hyperparameters that modulate damage (everything but the budget/epochs)
+_MODIFIER_HPS = {
+    "C1": ("HP4", "HP5"),
+    "C2": ("HP6", "HP8"),
+    "C3": ("HP6",),
+    "C4": ("HP10",),
+    "C5": ("HP11", "HP12", "HP13", "HP14"),
+    "C6": ("HP15", "HP16"),
+}
+
+_MODIFIER_WEIGHT = 0.06  # max extra damage per misconfigured hyperparameter
+_FT_PENALTY = 0.9        # damage inflation at zero fine-tuning
+_STEP_REF = 0.35         # reference single-shot step size (PR ~ 40)
+_BONUS_SCALE = 0.5       # recovery-bonus strength per step
+_BONUS_DECAY = 0.08      # bonus decays with step size: exp(-pr_step / this)
+_NOISE_STD = 0.10        # evaluation noise (percentage points)
+
+
+@lru_cache(maxsize=1)
+def _experience_preferences() -> Dict[Tuple[str, str, str], object]:
+    """Modal hyperparameter values in the source papers' reported results.
+
+    This is the link that makes *domain knowledge pay off*: the surrogate's
+    preferred settings are exactly the settings the six papers report using,
+    i.e. the information AutoMC's experience records carry.  Keys are
+    (method, hp, dataset-family) with ``"*"`` as the any-dataset fallback.
+    """
+    from ..knowledge.experience import default_experience
+
+    votes: Dict[Tuple[str, str, str], Counter] = defaultdict(Counter)
+    for record in default_experience():
+        family = record.task.name.split("-")[0]
+        for name, value in record.hp:
+            votes[(record.method_label, name, family)][value] += 1
+            votes[(record.method_label, name, "*")][value] += 1
+    return {key: counter.most_common(1)[0][0] for key, counter in votes.items()}
+
+
+def _preferred_value(method: str, hp: str, model: str, dataset: str, grid) -> object:
+    """Task-dependent optimum for a secondary hyperparameter.
+
+    Settings reported by the source papers (the experience table) win; for
+    hyperparameters the papers never report, a deterministic hash picks a
+    hidden optimum the search must discover empirically.
+    """
+    preferences = _experience_preferences()
+    for key in ((method, hp, dataset), (method, hp, "*")):
+        if key in preferences and preferences[key] in grid:
+            return preferences[key]
+    digest = hashlib.sha256(f"{method}|{hp}|{model}|{dataset}".encode()).digest()
+    return grid[digest[0] % len(grid)]
+
+
+@dataclass
+class StepEffect:
+    """Decomposition of one simulated accuracy change (percentage points)."""
+
+    damage: float
+    bonus: float
+    noise: float
+
+    @property
+    def delta(self) -> float:
+        return -self.damage + self.bonus + self.noise
+
+
+class AccuracyModel:
+    """Response surface for one (model, dataset) compression task."""
+
+    def __init__(self, model_name: str, dataset_name: str, seed: int = 0):
+        key = (model_name, dataset_name)
+        if key not in BASELINE_ACCURACY:
+            raise KeyError(
+                f"no calibration for {key}; supported: {sorted(BASELINE_ACCURACY)}"
+            )
+        self.model_name = model_name
+        self.dataset_name = dataset_name
+        self.baseline = BASELINE_ACCURACY[key]
+        self.headroom = ACCURACY_HEADROOM[key]
+        self.floor = 100.0 / _DATASET_CLASSES[dataset_name]
+        self.seed = seed
+        self._curves: Dict[str, MethodCurve] = {}
+
+    # ------------------------------------------------------------------ #
+    def curve(self, method_label: str) -> MethodCurve:
+        if method_label not in self._curves:
+            self._curves[method_label] = method_curve(
+                method_label, self.model_name, self.dataset_name
+            )
+        return self._curves[method_label]
+
+    def hp_modifier(self, method_label: str, hp: Dict[str, object]) -> float:
+        """Multiplicative damage factor >= 1 from secondary hyperparameters."""
+        factor = 1.0
+        for name in _MODIFIER_HPS.get(method_label, ()):
+            if name not in hp:
+                continue
+            grid = HP_GRID[name]
+            best = _preferred_value(method_label, name, self.model_name, self.dataset_name, grid)
+            if hp[name] == best:
+                continue
+            if isinstance(hp[name], str):
+                factor += _MODIFIER_WEIGHT
+            else:
+                numeric = [float(v) for v in grid]
+                span = (max(numeric) - min(numeric)) or 1.0
+                factor += _MODIFIER_WEIGHT * abs(float(hp[name]) - float(best)) / span
+        return factor
+
+    # ------------------------------------------------------------------ #
+    def step(
+        self,
+        accuracy: float,
+        pr_before: float,
+        pr_after: float,
+        method_label: str,
+        hp: Dict[str, object],
+        ft_norm: float,
+        previous_methods: Sequence[str] = (),
+        rng: Optional[np.random.Generator] = None,
+    ) -> Tuple[float, StepEffect]:
+        """Accuracy (in %) after executing one strategy.
+
+        ``pr_before`` / ``pr_after`` are the cumulative parameter-reduction
+        fractions measured on the real model; ``ft_norm`` is the fine-tuning
+        epochs as a fraction of the pre-training epochs (the HP1 scale).
+        """
+        rng = rng or np.random.default_rng(self.seed)
+        pr_step = max(pr_after - pr_before, 0.0)
+
+        if method_label == "C7":  # quantization extension: no param change
+            damage = 0.3 * self.hp_modifier(method_label, hp)
+        else:
+            curve = self.curve(method_label)
+            damage = curve.damage(pr_after) - curve.damage(pr_before)
+            # Fine-tuning recovery: anchors assume HP1 = 0.5.
+            ft = float(np.clip(ft_norm, 0.0, 0.5))
+            damage *= 1.0 + _FT_PENALTY * (0.5 - ft) / 0.5
+            # Secondary hyperparameters.
+            damage *= self.hp_modifier(method_label, hp)
+            # Step granularity: smaller steps are gentler per unit PR.
+            if pr_step > 1e-9:
+                damage *= float(np.clip((pr_step / _STEP_REF) ** 0.2, 0.8, 1.15))
+            # Method diversity: switching methods attacks fresh redundancy.
+            if previous_methods and method_label not in previous_methods:
+                damage *= 0.9
+
+        # Recovery bonus: small well-tuned steps climb above the baseline.
+        # "Well-tuned" is strict — the bonus decays exponentially with the
+        # secondary-hyperparameter penalty, so randomly-configured schemes
+        # rarely harvest it while knowledge-guided search can.
+        ceiling = self.baseline + self.headroom
+        headroom_left = float(np.clip(ceiling - accuracy, 0.0, self.headroom))
+        quality = float(np.exp(-8.0 * (self.hp_modifier(method_label, hp) - 1.0)))
+        bonus = (
+            _BONUS_SCALE
+            * quality
+            * (float(np.clip(ft_norm, 0.0, 0.5)) / 0.5)
+            * float(np.exp(-pr_step / _BONUS_DECAY))
+            * headroom_left
+            / max(self.headroom, 1e-9)
+        )
+        noise = float(rng.normal(0.0, _NOISE_STD))
+
+        effect = StepEffect(damage=damage, bonus=bonus, noise=noise)
+        new_accuracy = float(np.clip(accuracy + effect.delta, self.floor, ceiling))
+        return new_accuracy, effect
+
+    def __repr__(self) -> str:
+        return (
+            f"AccuracyModel({self.model_name}/{self.dataset_name}, "
+            f"baseline={self.baseline:.2f}%)"
+        )

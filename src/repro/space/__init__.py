@@ -1,0 +1,19 @@
+"""Search space on compression schemes (§3.2)."""
+
+from .hyperparams import HP_DESCRIPTIONS, HP_GRID, METHOD_HPS, grid_size
+from .scheme import MAX_SCHEME_LENGTH, START, CompressionScheme, tree_size
+from .strategy import CompressionStrategy, StrategySpace, make_strategy
+
+__all__ = [
+    "CompressionScheme",
+    "CompressionStrategy",
+    "HP_DESCRIPTIONS",
+    "HP_GRID",
+    "MAX_SCHEME_LENGTH",
+    "METHOD_HPS",
+    "START",
+    "StrategySpace",
+    "grid_size",
+    "make_strategy",
+    "tree_size",
+]

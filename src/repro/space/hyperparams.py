@@ -1,0 +1,78 @@
+"""Hyperparameter grids of Table 1.
+
+The published table's HP2 cell is corrupted; the legible values are
+``x0.04, x0.12, x0.2, x0.36, x0.4`` with further unreadable entries.  We
+reconstruct HP2 as six evenly-patterned values — this yields 4,230 strategies
+against the paper's reported 4,525 (documented in DESIGN.md).  The grids are
+data, so changing a list here changes the whole search space consistently.
+
+``*n`` hyperparameters (HP1, HP7, HP9, HP13) are multipliers of the original
+model's pre-training epoch count; HP2 ``x γ`` removes ``γ · P(M)`` parameters
+(relative to the *original* model M).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+#: value grid for every hyperparameter id
+HP_GRID: Dict[str, List[object]] = {
+    "HP1": [0.1, 0.2, 0.3, 0.4, 0.5],                 # fine-tune epochs (*n)
+    "HP2": [0.04, 0.12, 0.2, 0.28, 0.36, 0.44],       # param decrease (x gamma)
+    "HP4": [1, 3, 6, 10],                             # distillation temperature
+    "HP5": [0.05, 0.3, 0.5, 0.99],                    # distillation alpha
+    "HP6": [0.7, 0.9],                                # max per-unit prune ratio
+    "HP7": [0.4, 0.5, 0.6, 0.7],                      # LeGR evolution epochs (*n)
+    "HP8": ["l1_weight", "l2_weight", "l2_bn_param"],  # LeGR filter criterion
+    "HP9": [0.1, 0.2, 0.3, 0.4, 0.5],                 # SFP back-prop epochs (*n)
+    "HP10": [1, 3, 5],                                # SFP update frequency
+    "HP11": ["P1", "P2", "P3"],                       # HOS global aggregation
+    "HP12": ["l1norm", "k34", "skew_kur"],            # HOS local criterion
+    "HP13": [0.3, 0.4, 0.5],                          # HOS optimization epochs (*n)
+    "HP14": [1, 3, 5],                                # HOS MSE loss factor
+    "HP15": [0.5, 1, 1.5, 3, 5],                      # LFB auxiliary loss factor
+    "HP16": ["NLL", "CE", "MSE"],                     # LFB auxiliary loss kind
+    # Extension (C7 INQ quantization, not part of the paper's space):
+    "HP17": [3, 5, 7],                                # quantization bits
+    "HP18": [0.3, 0.5, 0.7],                          # portion per INQ iteration
+}
+
+#: hyperparameters used by each method (order fixes strategy enumeration)
+METHOD_HPS: Dict[str, Tuple[str, ...]] = {
+    "C1": ("HP1", "HP2", "HP4", "HP5"),
+    "C2": ("HP1", "HP2", "HP6", "HP7", "HP8"),
+    "C3": ("HP1", "HP2", "HP6"),
+    "C4": ("HP2", "HP9", "HP10"),
+    "C5": ("HP1", "HP2", "HP11", "HP12", "HP13", "HP14"),
+    "C6": ("HP1", "HP2", "HP15", "HP16"),
+    "C7": ("HP1", "HP17", "HP18"),
+}
+
+#: human-readable descriptions used as knowledge-graph attributes
+HP_DESCRIPTIONS: Dict[str, str] = {
+    "HP1": "fine tune epochs",
+    "HP2": "decrease ratio of parameters",
+    "HP4": "temperature factor",
+    "HP5": "alpha factor",
+    "HP6": "channel's maximum pruning ratio",
+    "HP7": "evolution epochs",
+    "HP8": "filter's evaluation criteria",
+    "HP9": "back-propagation epochs",
+    "HP10": "update frequency",
+    "HP11": "global evaluation criteria",
+    "HP12": "local evaluation criteria",
+    "HP13": "optimization epochs",
+    "HP14": "MSE loss's factor",
+    "HP15": "auxiliary MSE loss's factor",
+    "HP16": "auxiliary loss",
+    "HP17": "quantization bits",
+    "HP18": "quantization portion per iteration",
+}
+
+
+def grid_size(method_label: str) -> int:
+    """Number of strategies a method contributes to the search space."""
+    size = 1
+    for hp in METHOD_HPS[method_label]:
+        size *= len(HP_GRID[hp])
+    return size

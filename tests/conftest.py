@@ -1,0 +1,68 @@
+"""Shared fixtures.
+
+Session-scoped fixtures amortise the expensive setups (strategy space,
+knowledge graph, pre-trained tiny models) across the whole suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import tiny_dataset
+from repro.models import resnet8, vgg8_tiny
+from repro.nn import Trainer
+from repro.space import StrategySpace
+
+
+@pytest.fixture(scope="session")
+def space() -> StrategySpace:
+    return StrategySpace()
+
+
+@pytest.fixture(scope="session")
+def tiny_data():
+    data = tiny_dataset(num_classes=4, num_samples=120, image_size=8, seed=0)
+    train, val = data.split(0.75, seed=1)
+    return train, val
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="session")
+def trained_resnet8(tiny_data):
+    """A small pre-trained ResNet shared (read-only!) across tests.
+
+    Tests that mutate models must deepcopy this fixture.
+    """
+    train, _ = tiny_data
+    model = resnet8(num_classes=4)
+    Trainer(lr=0.05, batch_size=32, seed=0).fit(model, train, epochs=1)
+    return model
+
+
+@pytest.fixture(scope="session")
+def trained_vgg8(tiny_data):
+    train, _ = tiny_data
+    model = vgg8_tiny(num_classes=4)
+    Trainer(lr=0.05, batch_size=32, seed=0).fit(model, train, epochs=1)
+    return model
+
+
+def numeric_gradient(f, array: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar f wrt ``array`` (in place probing)."""
+    grad = np.zeros_like(array)
+    flat = array.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        hi = f()
+        flat[i] = original - eps
+        lo = f()
+        flat[i] = original
+        grad_flat[i] = (hi - lo) / (2 * eps)
+    return grad

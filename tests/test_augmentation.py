@@ -1,0 +1,67 @@
+"""Tests for training-time augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.data import AugmentedDataset, random_crop, random_horizontal_flip, tiny_dataset
+from repro.models import resnet8
+from repro.nn import Trainer, evaluate_accuracy
+
+
+class TestPrimitives:
+    def test_flip_preserves_content(self, rng):
+        images = rng.normal(size=(8, 3, 6, 6))
+        flipped = random_horizontal_flip(images, np.random.default_rng(0), p=1.0)
+        np.testing.assert_allclose(flipped, images[:, :, :, ::-1])
+
+    def test_flip_p_zero_identity(self, rng):
+        images = rng.normal(size=(8, 3, 6, 6))
+        out = random_horizontal_flip(images, np.random.default_rng(0), p=0.0)
+        np.testing.assert_array_equal(out, images)
+
+    def test_crop_preserves_shape(self, rng):
+        images = rng.normal(size=(4, 3, 8, 8))
+        out = random_crop(images, np.random.default_rng(0), padding=2)
+        assert out.shape == images.shape
+
+    def test_crop_content_is_shifted_window(self, rng):
+        """Every output must be a translate of the padded input."""
+        images = rng.normal(size=(1, 1, 4, 4))
+        out = random_crop(images, np.random.default_rng(3), padding=1)
+        padded = np.pad(images, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        matches = [
+            np.allclose(out[0], padded[0, :, dy : dy + 4, dx : dx + 4])
+            for dy in range(3)
+            for dx in range(3)
+        ]
+        assert any(matches)
+
+
+class TestAugmentedDataset:
+    def test_eval_iteration_untouched(self):
+        data = AugmentedDataset(tiny_dataset(num_samples=48))
+        x, y = next(iter(data.iter_batches(16, shuffle=False)))
+        np.testing.assert_array_equal(x, data.base.images[:16])
+
+    def test_train_iteration_augments(self):
+        data = AugmentedDataset(tiny_dataset(num_samples=48), seed=0)
+        rng = np.random.default_rng(1)
+        x, y, idx = next(iter(data.iter_batches(16, shuffle=True, rng=rng, with_indices=True)))
+        assert not np.array_equal(x, data.base.images[idx])
+        np.testing.assert_array_equal(y, data.base.labels[idx])
+
+    def test_passthrough_metadata(self):
+        base = tiny_dataset(num_samples=32)
+        data = AugmentedDataset(base)
+        assert len(data) == 32
+        assert data.num_classes == base.num_classes
+        assert data.image_size == base.image_size
+        assert data.channels == base.channels
+        assert data.name.endswith("+aug")
+
+    def test_trainer_accepts_augmented_dataset(self, tiny_data):
+        train, val = tiny_data
+        augmented = AugmentedDataset(train, padding=1)
+        model = resnet8(num_classes=4)
+        Trainer(lr=0.05, batch_size=32, seed=0).fit(model, augmented, epochs=2)
+        assert 0.0 <= evaluate_accuracy(model, val) <= 1.0

@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_search_defaults(self):
+        args = build_parser().parse_args(["search", "exp1"])
+        assert args.algorithm == "AutoMC"
+        assert args.budget == 30.0
+
+    def test_invalid_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search", "exp1", "--algorithm", "SGD"])
+
+    def test_figure_numbers(self):
+        for n in ("4", "5", "6"):
+            args = build_parser().parse_args(["figure", n])
+            assert args.number == n
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "7"])
+
+
+class TestCommands:
+    def test_inspect(self, capsys):
+        assert main(["inspect"]) == 0
+        out = capsys.readouterr().out
+        assert "4230 strategies" in out
+        assert "experience records" in out
+
+    def test_inspect_with_graph(self, capsys):
+        assert main(["inspect", "--graph"]) == 0
+        out = capsys.readouterr().out
+        assert "KnowledgeGraph" in out
+
+    def test_search_tiny_budget(self, capsys):
+        assert main(["search", "exp1", "--algorithm", "Random", "--budget", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "Random" in out and "Pareto" in out
+
+    def test_evaluate_scheme(self, capsys):
+        code = main(["evaluate", "exp1", "C3[HP1=0.5,HP2=0.2,HP6=0.9]"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PR 2" in out or "PR 1" in out  # ~20% reduction
+        assert "step 1: C3" in out

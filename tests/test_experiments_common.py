@@ -1,0 +1,90 @@
+"""Tests for the experiment plumbing helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluator import EvaluationResult
+from repro.experiments.common import (
+    EXPERIMENTS,
+    TRANSFER_MODELS,
+    ExperimentConfig,
+    format_row,
+    make_evaluator,
+    pick_block,
+    transfer_evaluator,
+)
+from repro.space import CompressionScheme
+
+
+def _fake_result(pr: float, accuracy: float) -> EvaluationResult:
+    base_params = 1_000_000
+    return EvaluationResult(
+        scheme=CompressionScheme(),
+        params=int(base_params * (1 - pr)),
+        flops=int(1e9 * (1 - pr)),
+        accuracy=accuracy,
+        base_params=base_params,
+        base_flops=int(1e9),
+        base_accuracy=0.9,
+        cost=0.1,
+    )
+
+
+class TestPickBlock:
+    def test_prefers_in_range_best_accuracy(self):
+        results = [_fake_result(0.35, 0.90), _fake_result(0.45, 0.92), _fake_result(0.75, 0.95)]
+        chosen = pick_block(results, 0.30, 0.55)
+        assert chosen.accuracy == pytest.approx(0.92)
+
+    def test_fallback_above_low(self):
+        results = [_fake_result(0.75, 0.91), _fake_result(0.85, 0.89)]
+        chosen = pick_block(results, 0.30, 0.55)
+        assert chosen.accuracy == pytest.approx(0.91)
+
+    def test_no_fallback_returns_none(self):
+        results = [_fake_result(0.75, 0.91)]
+        assert pick_block(results, 0.30, 0.55, fallback=False) is None
+
+    def test_nothing_feasible(self):
+        results = [_fake_result(0.1, 0.95)]
+        assert pick_block(results, 0.30, 0.55) is None
+
+
+class TestConfig:
+    def test_embedding_config_carries_seed(self):
+        cfg = ExperimentConfig(seed=7)
+        assert cfg.embedding_config().seed == 7
+
+    def test_progressive_config_values(self):
+        cfg = ExperimentConfig(sample_size=3, evals_per_round=4, candidate_subsample=99)
+        pc = cfg.progressive_config()
+        assert (pc.sample_size, pc.evals_per_round, pc.candidate_subsample) == (3, 4, 99)
+
+
+class TestEvaluatorFactories:
+    def test_experiments_registry(self):
+        assert set(EXPERIMENTS) == {"Exp1", "Exp2"}
+        assert set(TRANSFER_MODELS["Exp1"]) == {"resnet20", "resnet56", "resnet164"}
+
+    def test_transfer_evaluator_builds_target_model(self):
+        ev = transfer_evaluator("Exp1", "resnet20", seed=0)
+        assert ev.model_name == "resnet20"
+        assert ev.base_params < 500_000  # resnet20 < resnet56
+        # baseline accuracy comes from the transfer calibration table
+        assert ev.base_accuracy == pytest.approx(0.9130, abs=1e-4)
+
+    def test_make_evaluator_matches_task(self):
+        model_name, dataset_name, task = EXPERIMENTS["Exp1"]
+        ev = make_evaluator(model_name, dataset_name, task, seed=0)
+        assert ev.base_accuracy == pytest.approx(task.model_accuracy, abs=1e-6)
+
+
+class TestFormatRow:
+    def test_contains_all_columns(self):
+        text = format_row("LeGR", _fake_result(0.4, 0.9069), 0.9104)
+        assert "LeGR" in text
+        assert "40.00%" in text
+        assert "-0.35" in text  # accuracy change in pp
+
+    def test_none_result(self):
+        assert "no scheme" in format_row("RL", None, 0.91)

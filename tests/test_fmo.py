@@ -1,0 +1,96 @@
+"""Tests for the F_mo multi-objective step evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.core.fmo import Fmo, FmoNetwork
+from repro.knowledge.embedding import StrategyEmbeddings
+from repro.space import START, StrategySpace
+
+
+@pytest.fixture(scope="module")
+def small_space():
+    return StrategySpace(method_labels=["C3", "C4"])
+
+
+@pytest.fixture(scope="module")
+def embeddings(small_space):
+    rng = np.random.default_rng(0)
+    return StrategyEmbeddings(
+        table=rng.normal(0, 0.1, size=(len(small_space), 16)), space=small_space
+    )
+
+
+@pytest.fixture()
+def fmo(embeddings):
+    return Fmo(embeddings, seed=0)
+
+
+class TestEncoding:
+    def test_empty_sequence_zeros(self, fmo):
+        enc = fmo.encode_sequence(START)
+        assert enc.shape == (32,)
+        np.testing.assert_allclose(enc, 0.0)
+
+    def test_sequence_encoding_mean_and_last(self, fmo, small_space, embeddings):
+        scheme = START.extend(small_space[0]).extend(small_space[5])
+        enc = fmo.encode_sequence(scheme)
+        expected_mean = (embeddings.table[0] + embeddings.table[5]) / 2
+        np.testing.assert_allclose(enc[:16], expected_mean)
+        np.testing.assert_allclose(enc[16:], embeddings.table[5])
+
+    def test_state_features(self):
+        state = Fmo.state_features(0.95, 0.7, 2, 0.3, max_length=5)
+        np.testing.assert_allclose(state, [0.95, 0.7, 0.4, 0.3])
+
+    def test_build_features_shape(self, fmo, small_space):
+        state = Fmo.state_features(1.0, 1.0, 0, 0.0)
+        feats = fmo.build_features(START, state, np.array([0, 1, 2]))
+        assert feats.shape == (3, 3 * 16 + 4)
+
+
+class TestPrediction:
+    def test_predict_shape(self, fmo, small_space):
+        state = Fmo.state_features(1.0, 1.0, 0, 0.0)
+        pred = fmo.predict(START, state, np.arange(10))
+        assert pred.shape == (10, 2)
+        assert np.isfinite(pred).all()
+
+    def test_training_fits_observations(self, fmo, small_space):
+        """F_mo must learn a simple pattern: candidate i -> PR_step = HP2_i."""
+        state = Fmo.state_features(1.0, 1.0, 0, 0.0)
+        rng = np.random.default_rng(0)
+        for _ in range(3):  # repeated observations
+            for i in range(0, len(small_space), 7):
+                strategy = small_space[i]
+                fmo.observe(START, state, i, ar_step=-strategy.param_step / 4,
+                            pr_step=strategy.param_step)
+        loss = fmo.train(epochs=80)
+        # Targets are AR-scaled internally (AR_TARGET_SCALE), so the absolute
+        # loss is larger than the raw-unit intuition; correlation is the
+        # meaningful check below.
+        assert loss < 0.05
+        pred = fmo.predict(START, state, np.arange(0, len(small_space), 7))
+        targets = np.array(
+            [small_space[i].param_step for i in range(0, len(small_space), 7)]
+        )
+        correlation = np.corrcoef(pred[:, 1], targets)[0, 1]
+        assert correlation > 0.8
+
+    def test_train_empty_buffer_is_nan(self, fmo):
+        assert np.isnan(fmo.train())
+
+    def test_loss_history_recorded(self, fmo, small_space):
+        state = Fmo.state_features(1.0, 1.0, 0, 0.0)
+        fmo.observe(START, state, 0, 0.0, 0.1)
+        fmo.train(epochs=2)
+        assert len(fmo.loss_history) == 1
+
+
+class TestNetwork:
+    def test_forward_shape(self):
+        net = FmoNetwork(embedding_dim=8)
+        from repro.nn import Tensor
+
+        out = net(Tensor(np.zeros((5, 3 * 8 + 4))))
+        assert out.shape == (5, 2)

@@ -1,0 +1,98 @@
+"""Unit tests for HOS scoring criteria and aggregation modes."""
+
+import numpy as np
+import pytest
+
+from repro.compression.hos import (
+    _aggregate,
+    _score_k34,
+    _score_l1,
+    _score_skew_kur,
+    _standardized_moments,
+)
+from repro.models import vgg8_tiny
+
+
+@pytest.fixture()
+def unit():
+    return vgg8_tiny(num_classes=4, seed=0).pruning_units()[1]
+
+
+class TestMoments:
+    def test_gaussian_filters_near_zero_moments(self):
+        rng = np.random.default_rng(0)
+        w = rng.normal(size=(4, 64, 5, 5))  # large filters -> tight estimate
+        moments = _standardized_moments(w)
+        assert np.abs(moments[:, 0]).max() < 0.3  # skewness ~ 0
+        assert np.abs(moments[:, 1]).max() < 0.5  # excess kurtosis ~ 0
+
+    def test_skewed_filter_detected(self):
+        rng = np.random.default_rng(0)
+        w = np.stack([
+            rng.normal(size=(3, 3, 3)),
+            rng.exponential(size=(3, 3, 3)),  # strongly right-skewed
+        ])
+        moments = _standardized_moments(w)
+        assert moments[1, 0] > moments[0, 0] + 0.5
+
+    def test_matches_naive_formula(self):
+        rng = np.random.default_rng(1)
+        w = rng.normal(size=(2, 4, 3, 3))
+        moments = _standardized_moments(w)
+        flat = w.reshape(2, -1)
+        for i in range(2):
+            z = (flat[i] - flat[i].mean()) / flat[i].std()
+            assert moments[i, 0] == pytest.approx((z ** 3).mean(), abs=1e-9)
+            assert moments[i, 1] == pytest.approx((z ** 4).mean() - 3, abs=1e-9)
+
+
+class TestCriteria:
+    def test_score_shapes(self, unit):
+        n = unit.out_channels
+        assert _score_l1(unit).shape == (n,)
+        assert _score_k34(unit).shape == (n,)
+        assert _score_skew_kur(unit).shape == (n,)
+
+    def test_scores_nonnegative(self, unit):
+        assert (_score_l1(unit) >= 0).all()
+        assert (_score_k34(unit) >= 0).all()
+        assert (_score_skew_kur(unit) >= 0).all()
+
+
+class TestAggregation:
+    def test_p1_zero_mean_unit_std(self):
+        scores = np.array([1.0, 2.0, 3.0, 4.0])
+        z = _aggregate(scores, "P1")
+        assert z.mean() == pytest.approx(0.0, abs=1e-12)
+        assert z.std() == pytest.approx(1.0, abs=1e-9)
+
+    def test_p2_identity(self):
+        scores = np.array([3.0, 1.0, 2.0])
+        np.testing.assert_array_equal(_aggregate(scores, "P2"), scores)
+
+    def test_p3_rank_normalised(self):
+        scores = np.array([30.0, 10.0, 20.0])
+        ranks = _aggregate(scores, "P3")
+        np.testing.assert_allclose(ranks, [1.0, 0.0, 0.5])
+
+    def test_p3_preserves_order(self):
+        rng = np.random.default_rng(0)
+        scores = rng.normal(size=20)
+        ranks = _aggregate(scores, "P3")
+        np.testing.assert_array_equal(np.argsort(scores), np.argsort(ranks))
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError, match="unknown HP11"):
+            _aggregate(np.ones(3), "P4")
+
+    def test_aggregation_changes_global_ranking(self):
+        """P1 (z-scored) and P2 (raw) can globally rank layers differently —
+        the point of having HP11 in the search space."""
+        small_layer = np.array([1.0, 1.1, 1.2])
+        big_layer = np.array([10.0, 20.0, 30.0])
+        raw = np.concatenate([_aggregate(small_layer, "P2"), _aggregate(big_layer, "P2")])
+        z = np.concatenate([_aggregate(small_layer, "P1"), _aggregate(big_layer, "P1")])
+        # Raw: the small layer loses all its channels first.
+        assert set(np.argsort(raw)[:3]) == {0, 1, 2}
+        # Z-scored: the bottom three mix both layers.
+        assert set(np.argsort(z)[:3]) != {0, 1, 2}

@@ -1,0 +1,174 @@
+"""Tests for the knowledge graph, TransR, experience and Algorithm 1."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.knowledge import (
+    EmbeddingConfig,
+    ExperienceRecord,
+    TransR,
+    TransRConfig,
+    build_knowledge_graph,
+    default_experience,
+    learn_embeddings,
+    nearest_strategy,
+)
+from repro.knowledge.graph import ENTITY_TYPES, RELATIONS
+from repro.space import StrategySpace
+
+
+@pytest.fixture(scope="module")
+def small_space():
+    """C3+C4 only (150 strategies) keeps knowledge tests fast."""
+    return StrategySpace(method_labels=["C3", "C4"])
+
+
+@pytest.fixture(scope="module")
+def small_graph(small_space):
+    return build_knowledge_graph(small_space)
+
+
+class TestKnowledgeGraph:
+    def test_entity_types_complete(self, small_graph):
+        for entity_type in ENTITY_TYPES:
+            assert small_graph.entities_of_type(entity_type), entity_type
+
+    def test_strategy_entities_cover_space(self, small_space, small_graph):
+        assert len(small_graph.entities_of_type("strategy")) == len(small_space)
+        for strategy in small_space:
+            assert strategy.identifier in small_graph.strategy_entities
+
+    def test_r1_every_strategy_links_to_its_method(self, small_space, small_graph):
+        g = small_graph.graph
+        for strategy in small_space:
+            assert g.has_edge(strategy.identifier, strategy.method_label, key="R1")
+
+    def test_r2_settings_per_strategy(self, small_space, small_graph):
+        g = small_graph.graph
+        strategy = small_space[0]
+        settings = [
+            t for _, t, k in g.out_edges(strategy.identifier, keys=True) if k == "R2"
+        ]
+        assert len(settings) == len(strategy.hp_items)
+
+    def test_r5_no_duplicate_edges(self, small_graph):
+        g = small_graph.graph
+        for hp in small_graph.entities_of_type("hyperparameter"):
+            for setting in {t for _, t, k in g.out_edges(hp, keys=True) if k == "R5"}:
+                assert g.number_of_edges(hp, setting) == 1
+
+    def test_triplets_reference_valid_ids(self, small_graph):
+        t = small_graph.triplets
+        assert t.shape[1] == 3
+        assert t[:, 0].max() < small_graph.num_entities
+        assert t[:, 2].max() < small_graph.num_entities
+        assert t[:, 1].max() < len(RELATIONS)
+
+    def test_graph_is_connected_via_methods(self, small_graph):
+        undirected = small_graph.graph.to_undirected()
+        assert nx.number_connected_components(undirected) == 1
+
+
+class TestTransR:
+    def test_loss_decreases(self, small_graph):
+        model = TransR(small_graph.num_entities, small_graph.num_relations,
+                       TransRConfig(entity_dim=16, relation_dim=16, seed=0))
+        losses = model.fit(small_graph.triplets, epochs=6)
+        assert losses[-1] < losses[0]
+
+    def test_entities_stay_bounded(self, small_graph):
+        model = TransR(small_graph.num_entities, small_graph.num_relations)
+        model.fit(small_graph.triplets, epochs=3)
+        norms = np.linalg.norm(model.entities, axis=1)
+        assert (norms <= 1.0 + 1e-9).all()
+
+    def test_true_triplets_score_better_than_random(self, small_graph):
+        model = TransR(small_graph.num_entities, small_graph.num_relations,
+                       TransRConfig(seed=0))
+        model.fit(small_graph.triplets, epochs=8)
+        t = small_graph.triplets
+        rng = np.random.default_rng(0)
+        pos = model.score(t[:, 0], t[:, 1], t[:, 2]).mean()
+        corrupted = rng.integers(0, small_graph.num_entities, size=len(t))
+        neg = model.score(t[:, 0], t[:, 1], corrupted).mean()
+        assert pos < neg
+
+    def test_embedding_of_returns_copy(self, small_graph):
+        model = TransR(small_graph.num_entities, small_graph.num_relations)
+        e = model.embedding_of(0)
+        e[:] = 99.0
+        assert not np.allclose(model.entities[0], 99.0)
+
+
+class TestExperience:
+    def test_default_experience_covers_all_methods(self):
+        records = default_experience()
+        methods = {r.method_label for r in records}
+        assert methods == {"C1", "C2", "C3", "C4", "C5", "C6"}
+        assert len(records) >= 60
+
+    def test_ar_pr_ranges(self):
+        for record in default_experience():
+            assert 0.0 < record.pr < 1.0
+            assert -1.0 < record.ar < 0.2
+
+    def test_nearest_strategy_matches_method_and_values(self, space):
+        records = default_experience()
+        record = next(r for r in records if r.method_label == "C2")
+        strategy = nearest_strategy(space, record)
+        assert strategy.method_label == "C2"
+        recorded = dict(record.hp)
+        if "HP8" in recorded:
+            assert strategy.hp["HP8"] == recorded["HP8"]
+
+    def test_nearest_strategy_none_when_method_absent(self):
+        restricted = StrategySpace(method_labels=["C3"])
+        record = next(r for r in default_experience() if r.method_label == "C2")
+        assert nearest_strategy(restricted, record) is None
+
+
+class TestAlgorithm1:
+    def test_full_pipeline_shapes(self, small_space):
+        emb = learn_embeddings(
+            small_space,
+            config=EmbeddingConfig(dim=16, rounds=1, transr_epochs_per_round=1,
+                                   nn_exp_epochs_per_round=5),
+        )
+        assert emb.table.shape == (len(small_space), 16)
+        assert np.isfinite(emb.table).all()
+
+    def test_nn_exp_loss_decreases(self, small_space):
+        emb = learn_embeddings(
+            small_space,
+            config=EmbeddingConfig(dim=16, rounds=2, transr_epochs_per_round=1,
+                                   nn_exp_epochs_per_round=20),
+        )
+        assert emb.nn_exp_losses[-1] < emb.nn_exp_losses[0]
+
+    def test_ablation_no_kg(self, small_space):
+        emb = learn_embeddings(
+            small_space,
+            config=EmbeddingConfig(dim=16, rounds=1, use_kg=False,
+                                   nn_exp_epochs_per_round=5),
+        )
+        assert emb.transr_losses == []
+        assert emb.nn_exp_losses  # experience still used
+
+    def test_ablation_no_experience(self, small_space):
+        emb = learn_embeddings(
+            small_space,
+            config=EmbeddingConfig(dim=16, rounds=1, transr_epochs_per_round=2,
+                                   use_experience=False),
+        )
+        assert emb.nn_exp_losses == []
+        assert emb.transr_losses
+
+    def test_of_indexes_by_strategy(self, small_space):
+        emb = learn_embeddings(
+            small_space,
+            config=EmbeddingConfig(dim=8, rounds=1, transr_epochs_per_round=1,
+                                   nn_exp_epochs_per_round=2),
+        )
+        strategy = small_space[3]
+        np.testing.assert_array_equal(emb.of(strategy), emb.table[3])

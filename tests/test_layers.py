@@ -1,0 +1,134 @@
+"""Tests for the Module system and layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm2d,
+    Conv2d,
+    Embedding,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Tensor,
+)
+
+
+class TestModuleSystem:
+    def test_named_parameters_traversal(self):
+        net = Sequential(Conv2d(3, 4, 3), BatchNorm2d(4), Linear(4, 2))
+        names = dict(net.named_parameters())
+        assert "0.weight" in names and "0.bias" in names
+        assert "1.gamma" in names and "1.beta" in names
+        assert "2.weight" in names
+
+    def test_num_parameters(self):
+        layer = Linear(10, 5)
+        assert layer.num_parameters() == 10 * 5 + 5
+
+    def test_train_eval_propagates(self):
+        net = Sequential(BatchNorm2d(2), Sequential(BatchNorm2d(3)))
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_zero_grad_clears(self):
+        layer = Linear(3, 2)
+        out = layer(Tensor(np.ones((1, 3))))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_state_dict_roundtrip(self):
+        a = Sequential(Conv2d(2, 3, 3), BatchNorm2d(3))
+        b = Sequential(Conv2d(2, 3, 3, rng=np.random.default_rng(9)), BatchNorm2d(3))
+        b.load_state_dict(a.state_dict())
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_allclose(pa.data, pb.data)
+
+    def test_state_dict_includes_buffers(self):
+        bn = BatchNorm2d(3)
+        bn.running_mean[:] = 7.0
+        state = bn.state_dict()
+        np.testing.assert_allclose(state["running_mean"], 7.0)
+        fresh = BatchNorm2d(3)
+        fresh.load_state_dict(state)
+        np.testing.assert_allclose(fresh.running_mean, 7.0)
+
+    def test_load_state_dict_shape_mismatch(self):
+        a, b = Linear(3, 2), Linear(4, 2)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            b.load_state_dict(a.state_dict())
+
+    def test_load_state_dict_missing_key(self):
+        layer = Linear(3, 2)
+        with pytest.raises(KeyError):
+            layer.load_state_dict({})
+
+
+class TestConv2dLayer:
+    def test_channels_follow_weight_shape(self):
+        conv = Conv2d(3, 8, 3)
+        assert conv.in_channels == 3 and conv.out_channels == 8
+        conv.weight.data = conv.weight.data[:4]  # simulated surgery
+        assert conv.out_channels == 4
+
+    def test_no_bias_option(self):
+        conv = Conv2d(3, 4, 3, bias=False)
+        assert conv.bias is None
+        assert conv.num_parameters() == 4 * 3 * 9
+
+    def test_forward_shape(self, rng):
+        conv = Conv2d(3, 6, 3, stride=2, padding=1, rng=rng)
+        out = conv(Tensor(rng.normal(size=(2, 3, 8, 8))))
+        assert out.shape == (2, 6, 4, 4)
+
+
+class TestLinearLayer:
+    def test_forward(self, rng):
+        layer = Linear(4, 3, rng=rng)
+        out = layer(Tensor(rng.normal(size=(5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_features_follow_weight_shape(self):
+        layer = Linear(6, 2)
+        layer.weight.data = layer.weight.data[:, :3]
+        assert layer.in_features == 3
+
+
+class TestOtherLayers:
+    def test_batchnorm_num_features_tracks_surgery(self):
+        bn = BatchNorm2d(8)
+        bn.gamma.data = bn.gamma.data[:5]
+        assert bn.num_features == 5
+
+    def test_relu_identity_pool_flatten(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 4, 4)))
+        assert (ReLU()(x).data >= 0).all()
+        np.testing.assert_allclose(Identity()(x).data, x.data)
+        assert MaxPool2d(2)(x).shape == (2, 3, 2, 2)
+        assert GlobalAvgPool2d()(x).shape == (2, 3)
+        assert Flatten()(x).shape == (2, 48)
+
+    def test_sequential_indexing_and_iteration(self):
+        net = Sequential(ReLU(), Identity(), Flatten())
+        assert isinstance(net[0], ReLU)
+        assert isinstance(net[-1], Flatten)
+        assert len(net) == 3
+        assert len(list(net)) == 3
+
+    def test_embedding_lookup_and_grad(self):
+        table = Embedding(10, 4)
+        out = table(np.array([1, 1, 3]))
+        assert out.shape == (3, 4)
+        out.sum().backward()
+        assert table.weight.grad[1].sum() == pytest.approx(8.0)  # two lookups
+        assert table.weight.grad[0].sum() == 0.0

@@ -1,0 +1,108 @@
+"""Tests for loss functions, including the LMA distillation objective."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.losses import (
+    cross_entropy,
+    kl_divergence,
+    lma_distillation_loss,
+    lma_transform,
+    mse_loss,
+    nll_loss,
+)
+from repro.nn.tensor import Tensor
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_near_zero(self):
+        logits = Tensor([[100.0, 0.0], [0.0, 100.0]])
+        assert cross_entropy(logits, np.array([0, 1])).item() < 1e-6
+
+    def test_uniform_prediction_is_log_k(self):
+        logits = Tensor(np.zeros((4, 10)))
+        assert cross_entropy(logits, np.zeros(4, dtype=int)).item() == pytest.approx(
+            np.log(10)
+        )
+
+    def test_gradient_is_softmax_minus_onehot(self, rng):
+        logits_data = rng.normal(size=(3, 4))
+        targets = np.array([0, 2, 1])
+        logits = Tensor(logits_data, requires_grad=True)
+        cross_entropy(logits, targets).backward()
+        probs = np.exp(logits_data) / np.exp(logits_data).sum(-1, keepdims=True)
+        onehot = np.eye(4)[targets]
+        np.testing.assert_allclose(logits.grad, (probs - onehot) / 3, atol=1e-10)
+
+
+class TestNLLAndMSE:
+    def test_nll_matches_cross_entropy(self, rng):
+        logits = rng.normal(size=(5, 3))
+        targets = np.array([0, 1, 2, 0, 1])
+        ce = cross_entropy(Tensor(logits), targets).item()
+        nll = nll_loss(F.log_softmax(Tensor(logits)), targets).item()
+        assert nll == pytest.approx(ce)
+
+    def test_mse_basic(self):
+        assert mse_loss(Tensor([1.0, 3.0]), np.array([1.0, 1.0])).item() == pytest.approx(2.0)
+
+    def test_mse_no_grad_into_target(self):
+        pred = Tensor([1.0], requires_grad=True)
+        target = Tensor([0.0], requires_grad=True)
+        mse_loss(pred, target).backward()
+        assert pred.grad is not None
+        assert target.grad is None
+
+
+class TestKLDivergence:
+    def test_zero_when_identical(self, rng):
+        logits = rng.normal(size=(4, 6))
+        loss = kl_divergence(Tensor(logits), logits, temperature=2.0)
+        assert loss.item() == pytest.approx(0.0, abs=1e-9)
+
+    def test_positive_when_different(self, rng):
+        student = Tensor(rng.normal(size=(4, 6)))
+        teacher = rng.normal(size=(4, 6))
+        assert kl_divergence(student, teacher).item() > 0
+
+    def test_temperature_scaling_applied(self, rng):
+        student = Tensor(rng.normal(size=(2, 5)))
+        teacher = rng.normal(size=(2, 5))
+        # Higher temperature softens distributions; both should stay finite.
+        for t in (1, 3, 6, 10):
+            assert np.isfinite(kl_divergence(student, teacher, t).item())
+
+
+class TestLMA:
+    def test_transform_preserves_ranking(self, rng):
+        logits = rng.normal(size=(8, 10))
+        transformed = lma_transform(logits, segments=4)
+        orig_rank = logits.argsort(axis=-1)
+        new_rank = transformed.argsort(axis=-1)
+        np.testing.assert_array_equal(orig_rank, new_rank)
+
+    def test_transform_preserves_range(self, rng):
+        logits = rng.normal(size=(4, 6))
+        transformed = lma_transform(logits)
+        np.testing.assert_allclose(transformed.min(-1), logits.min(-1), atol=1e-9)
+        np.testing.assert_allclose(transformed.max(-1), logits.max(-1), atol=1e-9)
+
+    def test_distillation_loss_backward(self, rng):
+        student = Tensor(rng.normal(size=(6, 4)), requires_grad=True)
+        teacher = rng.normal(size=(6, 4))
+        targets = rng.integers(0, 4, 6)
+        loss = lma_distillation_loss(student, teacher, targets, temperature=3.0, alpha=0.5)
+        loss.backward()
+        assert np.isfinite(loss.item())
+        assert np.abs(student.grad).sum() > 0
+
+    def test_alpha_extremes(self, rng):
+        student_data = rng.normal(size=(4, 3))
+        teacher = rng.normal(size=(4, 3))
+        targets = np.array([0, 1, 2, 0])
+        hard_only = lma_distillation_loss(
+            Tensor(student_data), teacher, targets, 3.0, alpha=1.0
+        ).item()
+        ce = cross_entropy(Tensor(student_data), targets).item()
+        assert hard_only == pytest.approx(ce, abs=1e-9)

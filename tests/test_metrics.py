@@ -1,0 +1,83 @@
+"""Tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.nn.metrics import (
+    confusion_matrix,
+    evaluate_metrics,
+    per_class_accuracy,
+    top_k_accuracy,
+)
+
+
+class TestTopK:
+    def test_k1_matches_argmax(self, rng):
+        logits = rng.normal(size=(20, 5))
+        targets = rng.integers(0, 5, 20)
+        expected = float((logits.argmax(-1) == targets).mean())
+        assert top_k_accuracy(logits, targets, k=1) == pytest.approx(expected)
+
+    def test_k_equal_classes_is_one(self, rng):
+        logits = rng.normal(size=(10, 4))
+        targets = rng.integers(0, 4, 10)
+        assert top_k_accuracy(logits, targets, k=4) == 1.0
+
+    def test_k_clamped(self, rng):
+        logits = rng.normal(size=(5, 3))
+        targets = rng.integers(0, 3, 5)
+        assert top_k_accuracy(logits, targets, k=10) == 1.0
+
+    def test_monotone_in_k(self, rng):
+        logits = rng.normal(size=(50, 10))
+        targets = rng.integers(0, 10, 50)
+        values = [top_k_accuracy(logits, targets, k) for k in (1, 3, 5, 10)]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+
+class TestConfusion:
+    def test_counts(self):
+        predictions = np.array([0, 1, 1, 2])
+        targets = np.array([0, 1, 2, 2])
+        matrix = confusion_matrix(predictions, targets, 3)
+        assert matrix[0, 0] == 1
+        assert matrix[1, 1] == 1
+        assert matrix[2, 1] == 1
+        assert matrix[2, 2] == 1
+        assert matrix.sum() == 4
+
+    def test_per_class_accuracy(self):
+        matrix = np.array([[3, 1], [0, 4]])
+        acc = per_class_accuracy(matrix)
+        np.testing.assert_allclose(acc, [0.75, 1.0])
+
+    def test_unseen_class_nan(self):
+        matrix = np.array([[2, 0], [0, 0]])
+        acc = per_class_accuracy(matrix)
+        assert acc[0] == 1.0
+        assert np.isnan(acc[1])
+
+
+class TestEvaluateMetrics:
+    def test_full_pass(self, tiny_data, trained_resnet8):
+        _, val = tiny_data
+        metrics = evaluate_metrics(trained_resnet8, val, top_k=2)
+        assert 0 <= metrics["accuracy"] <= 1
+        assert metrics["accuracy"] <= metrics["top2_accuracy"] + 1e-12
+        assert metrics["confusion_matrix"].sum() == len(val)
+        assert metrics["per_class_accuracy"].shape == (val.num_classes,)
+
+    def test_consistent_with_evaluate_accuracy(self, tiny_data, trained_resnet8):
+        from repro.nn import evaluate_accuracy
+
+        _, val = tiny_data
+        metrics = evaluate_metrics(trained_resnet8, val)
+        assert metrics["accuracy"] == pytest.approx(
+            evaluate_accuracy(trained_resnet8, val)
+        )
+
+    def test_restores_training_mode(self, tiny_data, trained_resnet8):
+        _, val = tiny_data
+        trained_resnet8.train()
+        evaluate_metrics(trained_resnet8, val)
+        assert trained_resnet8.training

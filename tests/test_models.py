@@ -1,0 +1,113 @@
+"""Tests for the model zoo and its pruning graphs."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    ResNet,
+    VGG,
+    available_models,
+    create_model,
+    register_model,
+    resnet8,
+    resnet20,
+    resnet56,
+    resnet164,
+    vgg8_tiny,
+    vgg13,
+    vgg16,
+    vgg19,
+)
+from repro.nn import Tensor
+
+
+class TestResNet:
+    def test_depth_validation(self):
+        with pytest.raises(ValueError, match="6n\\+2"):
+            ResNet(depth=17)
+
+    @pytest.mark.parametrize("factory,depth", [(resnet20, 20), (resnet56, 56)])
+    def test_block_count(self, factory, depth):
+        model = factory()
+        n = (depth - 2) // 6
+        assert len(list(model.blocks)) == 3 * n
+
+    def test_forward_shape(self, rng):
+        model = resnet8(num_classes=4)
+        out = model(Tensor(rng.normal(size=(2, 3, 8, 8))))
+        assert out.shape == (2, 4)
+
+    def test_pruning_units_one_per_block(self):
+        model = resnet8()
+        units = model.pruning_units()
+        assert len(units) == len(list(model.blocks))
+        for unit in units:
+            assert unit.bn is not None
+            assert len(unit.consumers) == 1
+
+    def test_resnet164_depth(self):
+        model = resnet164()
+        assert len(list(model.blocks)) == 81
+
+    def test_deterministic_by_seed(self):
+        a, b = resnet8(seed=3), resnet8(seed=3)
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_allclose(pa.data, pb.data)
+        c = resnet8(seed=4)
+        diffs = [
+            np.abs(pa.data - pc.data).sum()
+            for (_, pa), (_, pc) in zip(a.named_parameters(), c.named_parameters())
+            if pa.size > 1
+        ]
+        assert sum(diffs) > 0
+
+
+class TestVGG:
+    def test_depth_validation(self):
+        with pytest.raises(ValueError, match="unsupported"):
+            VGG(depth=15)
+
+    def test_forward_shape(self, rng):
+        model = vgg8_tiny(num_classes=4)
+        out = model(Tensor(rng.normal(size=(2, 3, 8, 8))))
+        assert out.shape == (2, 4)
+
+    @pytest.mark.parametrize(
+        "factory,conv_count", [(vgg13, 10), (vgg16, 13), (vgg19, 16)]
+    )
+    def test_conv_counts(self, factory, conv_count):
+        model = factory()
+        assert len(model.pruning_units()) == conv_count
+
+    def test_last_unit_feeds_classifier(self):
+        model = vgg8_tiny()
+        units = model.pruning_units()
+        assert units[-1].consumers == [model.classifier]
+
+    def test_width_mult_scales_params(self):
+        narrow = vgg16(width_mult=0.5)
+        full = vgg16(width_mult=1.0)
+        assert narrow.num_parameters() < full.num_parameters() / 2.5
+
+    def test_ordering_of_sizes(self):
+        assert vgg13().num_parameters() < vgg16().num_parameters() < vgg19().num_parameters()
+
+
+class TestRegistry:
+    def test_available_contains_paper_models(self):
+        names = available_models()
+        for required in ("resnet20", "resnet56", "resnet164", "vgg13", "vgg16", "vgg19"):
+            assert required in names
+
+    def test_create_model(self):
+        model = create_model("resnet20", num_classes=100)
+        assert model.num_classes == 100
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError, match="unknown model"):
+            create_model("alexnet")
+
+    def test_register_custom(self):
+        register_model("custom_tiny", lambda num_classes=10, seed=0: resnet8(num_classes, seed=seed))
+        assert "custom_tiny" in available_models()
+        assert create_model("custom_tiny", num_classes=2).num_classes == 2

@@ -1,0 +1,67 @@
+"""Tests for parameter/FLOP accounting."""
+
+import numpy as np
+import pytest
+
+from repro.models import resnet20, resnet56, vgg16
+from repro.nn import (
+    Conv2d,
+    GlobalAvgPool2d,
+    Linear,
+    ReLU,
+    Sequential,
+    count_flops,
+    count_params,
+    profile_model,
+)
+
+
+class TestCounting:
+    def test_linear_flops_exact(self):
+        layer = Sequential(Linear(10, 5))
+        # 2 * in * out per sample
+        assert count_flops(layer, (10,)) == 2 * 10 * 5
+
+    def test_conv_flops_exact(self):
+        conv = Sequential(Conv2d(3, 8, 3, padding=1, bias=False))
+        flops = count_flops(conv, (3, 4, 4))
+        assert flops == 2 * 4 * 4 * 8 * 3 * 3 * 3  # 2*Ho*Wo*F*C*k*k
+
+    def test_bias_adds_flops(self):
+        with_bias = count_flops(Sequential(Conv2d(3, 8, 3)), (3, 6, 6))
+        without = count_flops(Sequential(Conv2d(3, 8, 3, bias=False)), (3, 6, 6))
+        assert with_bias == without + 8 * 4 * 4
+
+    def test_count_params_matches_module(self):
+        net = Sequential(Conv2d(3, 4, 3), Linear(4, 2))
+        assert count_params(net) == net.num_parameters()
+
+    def test_profile_restores_training_mode(self):
+        net = Sequential(Conv2d(3, 4, 3, padding=1), ReLU(), GlobalAvgPool2d(), Linear(4, 2))
+        net.train()
+        profile_model(net, (3, 8, 8))
+        assert net.training
+
+
+class TestPaperNumbers:
+    """The profiles should land on the paper's Table 2 baseline row."""
+
+    def test_vgg16_cifar100_matches_table2(self):
+        profile = profile_model(vgg16(num_classes=100), (3, 32, 32))
+        assert profile.params_m == pytest.approx(14.77, abs=0.05)
+        assert profile.flops_g == pytest.approx(0.63, abs=0.02)
+
+    def test_resnet56_cifar10_close_to_table2(self):
+        profile = profile_model(resnet56(num_classes=10), (3, 32, 32))
+        assert profile.params_m == pytest.approx(0.90, abs=0.08)
+        assert profile.flops_g == pytest.approx(0.27, abs=0.04)
+
+    def test_resnet20_smaller_than_resnet56(self):
+        p20 = profile_model(resnet20(), (3, 32, 32))
+        p56 = profile_model(resnet56(), (3, 32, 32))
+        assert p20.params < p56.params
+        assert p20.flops < p56.flops
+
+    def test_str_format(self):
+        profile = profile_model(resnet20(), (3, 32, 32))
+        assert "params" in str(profile) and "FLOPs" in str(profile)

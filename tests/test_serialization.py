@@ -1,0 +1,84 @@
+"""Tests for model checkpointing."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.compression import METHODS, ExecutionContext
+from repro.models import resnet8, vgg8_tiny
+from repro.nn import Tensor, load_model, load_state, save_model
+
+
+class TestSaveLoad:
+    def test_roundtrip_parameters(self, tmp_path):
+        model = resnet8(num_classes=4, seed=1)
+        path = str(tmp_path / "model.npz")
+        save_model(model, path)
+        other = resnet8(num_classes=4, seed=2)
+        load_model(other, path)
+        for (_, a), (_, b) in zip(model.named_parameters(), other.named_parameters()):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_roundtrip_buffers(self, tmp_path):
+        model = vgg8_tiny(num_classes=4)
+        for _, buf in model.named_buffers():
+            buf += 3.0
+        path = str(tmp_path / "model.npz")
+        save_model(model, path)
+        other = vgg8_tiny(num_classes=4, seed=5)
+        load_model(other, path)
+        for (_, a), (_, b) in zip(model.named_buffers(), other.named_buffers()):
+            np.testing.assert_array_equal(a, b)
+
+    def test_identical_forward_after_load(self, tmp_path, rng):
+        model = vgg8_tiny(num_classes=4, seed=3)
+        model.eval()
+        x = rng.normal(size=(2, 3, 8, 8))
+        expected = model(Tensor(x)).data
+        path = str(tmp_path / "model.npz")
+        save_model(model, path)
+        other = vgg8_tiny(num_classes=4, seed=7)
+        load_model(other, path)
+        other.eval()
+        np.testing.assert_allclose(other(Tensor(x)).data, expected)
+
+    def test_load_state_returns_plain_dict(self, tmp_path):
+        model = resnet8(num_classes=4)
+        path = str(tmp_path / "model.npz")
+        save_model(model, path)
+        state = load_state(path)
+        assert set(state) == set(model.state_dict())
+
+    def test_creates_directories(self, tmp_path):
+        model = resnet8(num_classes=4)
+        path = str(tmp_path / "deep" / "nested" / "model.npz")
+        save_model(model, path)
+        assert os.path.exists(path)
+
+    def test_shape_mismatch_after_surgery_raises(self, tmp_path, tiny_data):
+        """A checkpoint of the original model cannot load into a pruned one."""
+        model = resnet8(num_classes=4)
+        path = str(tmp_path / "model.npz")
+        save_model(model, path)
+        ctx = ExecutionContext(
+            original_params=model.num_parameters(), train_enabled=False
+        )
+        METHODS["C3"].apply(model, {"HP1": 0.1, "HP2": 0.2, "HP6": 0.9}, ctx)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            load_model(model, path)
+
+    def test_compressed_model_roundtrip(self, tmp_path):
+        """Checkpoints of structurally compressed models work structure-to-
+        structure (save after surgery, load into the same object)."""
+        model = vgg8_tiny(num_classes=4)
+        ctx = ExecutionContext(
+            original_params=model.num_parameters(), train_enabled=False
+        )
+        METHODS["C3"].apply(model, {"HP1": 0.1, "HP2": 0.2, "HP6": 0.9}, ctx)
+        path = str(tmp_path / "compressed.npz")
+        save_model(model, path)
+        for p in model.parameters():
+            p.data = p.data * 0  # wreck the weights
+        load_model(model, path)
+        assert any(np.abs(p.data).sum() > 0 for p in model.parameters())

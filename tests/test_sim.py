@@ -1,0 +1,133 @@
+"""Tests for the calibrated accuracy surrogate."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    ACCURACY_HEADROOM,
+    BASELINE_ACCURACY,
+    TABLE2_ANCHORS,
+    TABLE3_ACC40,
+    AccuracyModel,
+    method_curve,
+)
+
+
+class TestCalibration:
+    def test_curves_hit_table2_anchors_exactly(self):
+        for (method, model, dataset), ((pr1, acc1), (pr2, acc2)) in TABLE2_ANCHORS.items():
+            base = BASELINE_ACCURACY[(model, dataset)]
+            curve = method_curve(method, model, dataset)
+            assert curve.damage(pr1) == pytest.approx(base - acc1, abs=1e-9)
+            assert curve.damage(pr2) == pytest.approx(base - acc2, abs=1e-9)
+
+    def test_transfer_curves_hit_table3_anchor(self):
+        for (method, model, dataset), acc40 in TABLE3_ACC40.items():
+            base = BASELINE_ACCURACY[(model, dataset)]
+            curve = method_curve(method, model, dataset)
+            assert curve.damage(0.40) == pytest.approx(base - acc40, abs=1e-6)
+
+    def test_zero_pr_zero_damage(self):
+        curve = method_curve("C2", "resnet56", "cifar10")
+        assert curve.damage(0.0) == 0.0
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(KeyError):
+            method_curve("C2", "resnet18", "imagenet")
+
+    def test_legr_hos_crossover_resnet56(self):
+        """Paper §4.2 observation: LeGR beats HOS at PR 0.4, loses at 0.7."""
+        legr = method_curve("C2", "resnet56", "cifar10")
+        hos = method_curve("C5", "resnet56", "cifar10")
+        assert legr.damage(0.40) < hos.damage(0.40)
+        assert legr.damage(0.70) > hos.damage(0.70)
+
+    def test_lfb_depth_collapse(self):
+        """Paper §4.4: LFB great on ResNet-20, catastrophic on ResNet-164."""
+        lfb20 = method_curve("C6", "resnet20", "cifar10")
+        lfb164 = method_curve("C6", "resnet164", "cifar10")
+        assert lfb20.damage(0.40) < 1.0
+        assert lfb164.damage(0.40) > 50.0
+
+
+class TestAccuracyModel:
+    def _model(self):
+        return AccuracyModel("resnet56", "cifar10", seed=0)
+
+    def test_baseline(self):
+        m = self._model()
+        assert m.baseline == pytest.approx(91.04)
+        assert m.floor == pytest.approx(10.0)
+
+    def test_step_reduces_accuracy_for_big_untuned_step(self):
+        m = self._model()
+        rng = np.random.default_rng(0)
+        acc, effect = m.step(91.04, 0.0, 0.4, "C1", {"HP4": 1, "HP5": 0.05}, 0.1, rng=rng)
+        assert acc < 91.04
+        assert effect.damage > 0
+
+    def test_more_fine_tuning_less_damage(self):
+        m = self._model()
+        rng = lambda: np.random.default_rng(1)
+        acc_low, _ = m.step(91.04, 0.0, 0.4, "C3", {}, 0.1, rng=rng())
+        acc_high, _ = m.step(91.04, 0.0, 0.4, "C3", {}, 0.5, rng=rng())
+        assert acc_high > acc_low
+
+    def test_small_steps_can_climb_above_baseline(self):
+        m = self._model()
+        rng = np.random.default_rng(2)
+        acc = m.baseline
+        pr = 0.0
+        history = []
+        for _ in range(5):
+            acc, _ = m.step(acc, pr, pr + 0.04, "C2", {"HP6": 0.9, "HP8": "l2_weight"},
+                            0.5, previous_methods=tuple(history), rng=rng)
+            history.append("C2")
+            pr += 0.04
+        assert acc > m.baseline  # the AutoMC effect
+
+    def test_accuracy_clamped_to_floor_and_ceiling(self):
+        m = self._model()
+        rng = np.random.default_rng(3)
+        low, _ = m.step(12.0, 0.0, 0.8, "C1", {"HP4": 1, "HP5": 0.05}, 0.0, rng=rng)
+        assert low >= m.floor
+        high, _ = m.step(99.0, 0.0, 0.001, "C2", {}, 0.5, rng=rng)
+        assert high <= m.baseline + m.headroom
+
+    def test_hp_modifier_best_setting_is_one(self):
+        m = self._model()
+        factors = [
+            m.hp_modifier("C2", {"HP6": v6, "HP8": v8})
+            for v6 in (0.7, 0.9)
+            for v8 in ("l1_weight", "l2_weight", "l2_bn_param")
+        ]
+        assert min(factors) == pytest.approx(1.0)
+        assert max(factors) > 1.0
+
+    def test_diversity_discount(self):
+        m = self._model()
+        same, _ = m.step(91.0, 0.1, 0.2, "C3", {}, 0.5,
+                         previous_methods=("C3",), rng=np.random.default_rng(4))
+        diff, _ = m.step(91.0, 0.1, 0.2, "C3", {}, 0.5,
+                         previous_methods=("C2",), rng=np.random.default_rng(4))
+        assert diff >= same
+
+    def test_quantization_step_small_fixed_damage(self):
+        m = self._model()
+        acc, effect = m.step(91.0, 0.3, 0.3, "C7", {}, 0.1, rng=np.random.default_rng(5))
+        assert 0 < effect.damage < 1.0
+
+    def test_deterministic_given_rng(self):
+        m = self._model()
+        a, _ = m.step(91.0, 0.0, 0.3, "C5", {"HP11": "P1"}, 0.3, rng=np.random.default_rng(7))
+        b, _ = m.step(91.0, 0.0, 0.3, "C5", {"HP11": "P1"}, 0.3, rng=np.random.default_rng(7))
+        assert a == b
+
+    def test_unsupported_task_raises(self):
+        with pytest.raises(KeyError):
+            AccuracyModel("alexnet", "imagenet")
+
+    def test_headroom_matches_table(self):
+        for (model, dataset), headroom in ACCURACY_HEADROOM.items():
+            m = AccuracyModel(model, dataset)
+            assert m.headroom == headroom

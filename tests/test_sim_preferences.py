@@ -1,0 +1,56 @@
+"""Tests for the experience-derived hyperparameter preferences of the
+surrogate — the knowledge-to-reward channel."""
+
+import numpy as np
+import pytest
+
+from repro.knowledge.experience import default_experience
+from repro.sim.accuracy import AccuracyModel, _experience_preferences, _preferred_value
+from repro.space.hyperparams import HP_GRID
+
+
+class TestPreferenceTable:
+    def test_votes_follow_records(self):
+        prefs = _experience_preferences()
+        # C2's records overwhelmingly report l2_weight on cifar10.
+        assert prefs[("C2", "HP8", "cifar10")] == "l2_weight"
+        # C5 on cifar100 was reported with l1norm, on cifar10 with k34.
+        assert prefs[("C5", "HP12", "cifar100")] == "l1norm"
+        assert prefs[("C5", "HP12", "cifar10")] == "k34"
+
+    def test_wildcard_fallback_exists(self):
+        prefs = _experience_preferences()
+        for method in ("C1", "C2", "C3", "C4", "C5", "C6"):
+            keys = [k for k in prefs if k[0] == method and k[2] == "*"]
+            assert keys, f"no wildcard preferences for {method}"
+
+    def test_preferred_value_always_in_grid(self):
+        for method, hp in (("C1", "HP4"), ("C2", "HP8"), ("C5", "HP12"), ("C6", "HP16")):
+            value = _preferred_value(method, hp, "resnet56", "cifar10", HP_GRID[hp])
+            assert value in HP_GRID[hp]
+
+    def test_hash_fallback_for_unreported_hp(self):
+        # HP13 (HOS optimization epochs) never appears in the records.
+        prefs = _experience_preferences()
+        assert not any(k[1] == "HP13" for k in prefs)
+        value = _preferred_value("C5", "HP13", "resnet56", "cifar10", HP_GRID["HP13"])
+        assert value in HP_GRID["HP13"]
+
+
+class TestKnowledgeRewardChannel:
+    def test_reported_setting_damages_least(self):
+        """Using exactly the settings the papers report minimises the
+        surrogate's damage modifier — knowledge is worth following."""
+        model = AccuracyModel("resnet56", "cifar10")
+        reported = {"HP6": 0.9, "HP8": "l2_weight"}
+        wrong = {"HP6": 0.7, "HP8": "l1_weight"}
+        assert model.hp_modifier("C2", reported) <= model.hp_modifier("C2", wrong)
+
+    def test_dataset_specific_preferences_differ(self):
+        cifar10 = AccuracyModel("resnet56", "cifar10")
+        cifar100 = AccuracyModel("vgg16", "cifar100")
+        k34 = {"HP12": "k34"}
+        l1 = {"HP12": "l1norm"}
+        # cifar10 rewards k34, cifar100 rewards l1norm (per the records).
+        assert cifar10.hp_modifier("C5", k34) <= cifar10.hp_modifier("C5", l1)
+        assert cifar100.hp_modifier("C5", l1) <= cifar100.hp_modifier("C5", k34)

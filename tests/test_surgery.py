@@ -1,0 +1,207 @@
+"""Tests for structural surgery: invariants that pruning must preserve."""
+
+import copy
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.surgery import (
+    SurgeryError,
+    bn_scale_magnitudes,
+    execute_plan,
+    filter_l1_norms,
+    filter_l2_norms,
+    params_per_channel,
+    plan_global_pruning,
+    prune_by_scores,
+    prune_unit,
+    uniform_width_scale,
+)
+from repro.models import resnet8, vgg8_tiny
+from repro.nn import Tensor, profile_model
+
+
+def _forward_ok(model, size=8):
+    out = model(Tensor(np.random.default_rng(0).normal(size=(2, 3, size, size))))
+    assert np.isfinite(out.data).all()
+    return out
+
+
+class TestPruneUnit:
+    def test_removes_channels_everywhere(self, trained_resnet8):
+        model = copy.deepcopy(trained_resnet8)
+        unit = model.pruning_units()[0]
+        before = unit.out_channels
+        keep = np.arange(before // 2)
+        prune_unit(unit, keep)
+        assert unit.producer.out_channels == before // 2
+        assert unit.bn.num_features == before // 2
+        assert unit.consumers[0].in_channels == before // 2
+        _forward_ok(model)
+
+    def test_refuses_empty_keep(self, trained_resnet8):
+        model = copy.deepcopy(trained_resnet8)
+        unit = model.pruning_units()[0]
+        with pytest.raises(SurgeryError):
+            prune_unit(unit, np.array([], dtype=np.int64))
+
+    def test_keeps_correct_filters(self, trained_resnet8):
+        model = copy.deepcopy(trained_resnet8)
+        unit = model.pruning_units()[0]
+        original = unit.producer.weight.data.copy()
+        keep = np.array([0, 2])
+        prune_unit(unit, keep)
+        np.testing.assert_allclose(unit.producer.weight.data, original[[0, 2]])
+
+    def test_equivalent_output_when_pruning_dead_channels(self, trained_vgg8):
+        """Pruning channels whose filters are zero must not change outputs."""
+        model = copy.deepcopy(trained_vgg8)
+        model.eval()
+        unit = model.pruning_units()[0]
+        dead = np.array([1, 3])
+        unit.producer.weight.data[dead] = 0.0
+        unit.bn.gamma.data[dead] = 0.0
+        unit.bn.beta.data[dead] = 0.0
+        unit.bn.running_mean[dead] = 0.0
+        unit.bn.running_var[dead] = 1.0
+        x = np.random.default_rng(1).normal(size=(2, 3, 8, 8))
+        before = model(Tensor(x)).data.copy()
+        keep = np.setdiff1d(np.arange(unit.out_channels), dead)
+        prune_unit(unit, keep)
+        after = model(Tensor(x)).data
+        np.testing.assert_allclose(before, after, atol=1e-8)
+
+
+class TestGlobalPlanning:
+    def test_budget_respected(self, trained_vgg8):
+        model = copy.deepcopy(trained_vgg8)
+        units = model.pruning_units()
+        scores = {u.name: filter_l2_norms(u) for u in units}
+        total = model.num_parameters()
+        plan = plan_global_pruning(units, scores, param_budget=total // 5)
+        assert plan.params_removed >= total // 5 * 0.8  # close to target
+
+    def test_lowest_scores_removed_first(self, trained_vgg8):
+        model = copy.deepcopy(trained_vgg8)
+        units = model.pruning_units()
+        scores = {u.name: np.arange(u.out_channels, dtype=float) for u in units}
+        plan = plan_global_pruning(units, scores, param_budget=1)
+        # Only the very cheapest/lowest-scoring channels go; all keeps are suffixes.
+        for u in units:
+            kept = plan.keep[u.name]
+            dropped = np.setdiff1d(np.arange(u.out_channels), kept)
+            if dropped.size:
+                assert dropped.max() < kept.min()
+
+    def test_max_ratio_cap(self, trained_vgg8):
+        model = copy.deepcopy(trained_vgg8)
+        units = model.pruning_units()
+        scores = {u.name: filter_l2_norms(u) for u in units}
+        plan = plan_global_pruning(
+            units, scores, param_budget=10**9, max_ratio=0.5
+        )
+        for u in units:
+            assert len(plan.keep[u.name]) >= int(np.ceil(u.out_channels * 0.5))
+
+    def test_score_length_mismatch_raises(self, trained_vgg8):
+        model = copy.deepcopy(trained_vgg8)
+        units = model.pruning_units()
+        scores = {u.name: np.ones(3) for u in units}
+        with pytest.raises(SurgeryError, match="score length"):
+            plan_global_pruning(units, scores, param_budget=10)
+
+    def test_execute_close_to_plan(self, trained_vgg8):
+        """Measured removal tracks the plan estimate (chain interactions
+        make the estimate an upper bound in VGG topologies)."""
+        model = copy.deepcopy(trained_vgg8)
+        units = model.pruning_units()
+        scores = {u.name: filter_l2_norms(u) for u in units}
+        before = model.num_parameters()
+        plan = plan_global_pruning(units, scores, param_budget=before // 6)
+        execute_plan(units, plan)
+        measured = before - model.num_parameters()
+        assert 0 < measured <= plan.params_removed
+        assert measured >= 0.7 * plan.params_removed
+        _forward_ok(model)
+
+    def test_prune_by_scores_iterates_to_budget(self, trained_vgg8):
+        model = copy.deepcopy(trained_vgg8)
+        before = model.num_parameters()
+        budget = before // 6
+        scores = {u.name: filter_l2_norms(u) for u in model.pruning_units()}
+        removed = prune_by_scores(model, scores, budget)
+        assert removed == before - model.num_parameters()
+        assert removed >= 0.95 * budget
+        _forward_ok(model)
+
+
+class TestPruneByScores:
+    @pytest.mark.parametrize("model_factory", [resnet8, vgg8_tiny])
+    def test_param_count_decreases_and_forward_works(self, model_factory):
+        model = model_factory(num_classes=4)
+        before = model.num_parameters()
+        scores = {u.name: filter_l2_norms(u) for u in model.pruning_units()}
+        removed = prune_by_scores(model, scores, before // 5)
+        assert removed > 0
+        assert model.num_parameters() == before - removed
+        _forward_ok(model)
+
+    def test_flops_also_decrease(self):
+        model = vgg8_tiny(num_classes=4)
+        flops_before = profile_model(model, (3, 8, 8)).flops
+        scores = {u.name: filter_l2_norms(u) for u in model.pruning_units()}
+        prune_by_scores(model, scores, model.num_parameters() // 4)
+        assert profile_model(model, (3, 8, 8)).flops < flops_before
+
+
+class TestScoringCriteria:
+    def test_l1_l2_norm_shapes(self, trained_resnet8):
+        unit = trained_resnet8.pruning_units()[0]
+        assert filter_l1_norms(unit).shape == (unit.out_channels,)
+        assert filter_l2_norms(unit).shape == (unit.out_channels,)
+
+    def test_l1_dominates_l2(self, trained_resnet8):
+        unit = trained_resnet8.pruning_units()[0]
+        assert (filter_l1_norms(unit) >= filter_l2_norms(unit) - 1e-12).all()
+
+    def test_bn_scale_magnitudes(self, trained_resnet8):
+        unit = trained_resnet8.pruning_units()[0]
+        np.testing.assert_allclose(
+            bn_scale_magnitudes(unit), np.abs(unit.bn.gamma.data)
+        )
+
+
+class TestUniformWidthScale:
+    def test_hits_budget(self):
+        model = vgg8_tiny(num_classes=4)
+        before = model.num_parameters()
+        budget = before // 4
+        removed = uniform_width_scale(model, budget)
+        assert removed >= budget * 0.9
+        _forward_ok(model)
+
+    def test_params_per_channel_consistent(self):
+        """Removing exactly one channel frees params_per_channel params."""
+        model = vgg8_tiny(num_classes=4)
+        unit = model.pruning_units()[1]
+        expected = params_per_channel(unit)
+        before = model.num_parameters()
+        prune_unit(unit, np.arange(1, unit.out_channels))
+        assert before - model.num_parameters() == expected
+
+
+class TestHypothesisInvariants:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=100))
+    def test_random_keep_sets_always_leave_valid_model(self, n_keep, seed):
+        model = vgg8_tiny(num_classes=4, seed=seed % 3)
+        unit = model.pruning_units()[0]
+        rng = np.random.default_rng(seed)
+        keep = rng.choice(
+            unit.out_channels, size=min(n_keep, unit.out_channels), replace=False
+        )
+        prune_unit(unit, keep)
+        assert unit.producer.out_channels == len(set(keep.tolist()))
+        _forward_ok(model)

@@ -1,0 +1,82 @@
+"""Tests for the Trainer loop and accuracy evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.data import tiny_dataset
+from repro.models import resnet8
+from repro.nn import Trainer, evaluate_accuracy
+from repro.nn.losses import mse_loss
+from repro.nn.tensor import Tensor
+
+
+class TestTrainer:
+    def test_loss_decreases(self, tiny_data):
+        train, _ = tiny_data
+        model = resnet8(num_classes=4)
+        report = Trainer(lr=0.05, batch_size=32, seed=0).fit(model, train, epochs=2)
+        first = np.mean(report.losses[:3])
+        last = np.mean(report.losses[-3:])
+        assert last < first
+
+    def test_fractional_epochs_step_count(self, tiny_data):
+        train, _ = tiny_data
+        model = resnet8(num_classes=4)
+        steps_per_epoch = int(np.ceil(len(train) / 32))
+        report = Trainer(batch_size=32, seed=0).fit(model, train, epochs=0.5)
+        assert report.steps == max(1, round(0.5 * steps_per_epoch))
+        assert len(report.losses) == report.steps
+
+    def test_step_hook_called_every_step(self, tiny_data):
+        train, _ = tiny_data
+        calls = []
+        model = resnet8(num_classes=4)
+        Trainer(batch_size=32, seed=0).fit(
+            model, train, epochs=1, step_hook=lambda m, s: calls.append(s)
+        )
+        assert calls == list(range(len(calls)))
+        assert len(calls) >= 1
+
+    def test_custom_loss_fn_receives_indices(self, tiny_data):
+        train, _ = tiny_data
+        seen = []
+
+        def loss_fn(logits, targets, idx):
+            seen.append(np.asarray(idx))
+            return mse_loss(logits, np.zeros(logits.shape))
+
+        model = resnet8(num_classes=4)
+        Trainer(batch_size=16, seed=0).fit(model, train, epochs=0.2, loss_fn=loss_fn)
+        assert seen and all(isinstance(i, np.ndarray) for i in seen)
+        assert all((i < len(train)).all() for i in seen)
+
+    def test_training_improves_accuracy(self, tiny_data):
+        train, val = tiny_data
+        model = resnet8(num_classes=4)
+        before = evaluate_accuracy(model, val)
+        Trainer(lr=0.05, batch_size=32, seed=0).fit(model, train, epochs=4)
+        after = evaluate_accuracy(model, val)
+        assert after > max(before, 1.0 / 4 + 0.05)  # clearly better than chance
+
+
+class TestEvaluateAccuracy:
+    def test_bounds(self, tiny_data, trained_resnet8):
+        _, val = tiny_data
+        acc = evaluate_accuracy(trained_resnet8, val)
+        assert 0.0 <= acc <= 1.0
+
+    def test_restores_training_mode(self, tiny_data, trained_resnet8):
+        _, val = tiny_data
+        trained_resnet8.train()
+        evaluate_accuracy(trained_resnet8, val)
+        assert trained_resnet8.training
+        trained_resnet8.eval()
+        evaluate_accuracy(trained_resnet8, val)
+        assert not trained_resnet8.training
+        trained_resnet8.train()
+
+    def test_deterministic(self, tiny_data, trained_resnet8):
+        _, val = tiny_data
+        assert evaluate_accuracy(trained_resnet8, val) == evaluate_accuracy(
+            trained_resnet8, val
+        )

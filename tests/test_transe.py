@@ -1,0 +1,42 @@
+"""Tests for the TransE baseline embedder."""
+
+import numpy as np
+import pytest
+
+from repro.knowledge import TransE, TransEConfig, build_knowledge_graph
+from repro.space import StrategySpace
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_knowledge_graph(StrategySpace(method_labels=["C3", "C4"]))
+
+
+class TestTransE:
+    def test_loss_decreases(self, graph):
+        model = TransE(graph.num_entities, graph.num_relations, TransEConfig(dim=16, seed=0))
+        losses = model.fit(graph.triplets, epochs=6)
+        assert losses[-1] < losses[0]
+
+    def test_true_beats_corrupted(self, graph):
+        model = TransE(graph.num_entities, graph.num_relations, TransEConfig(seed=1))
+        model.fit(graph.triplets, epochs=8)
+        t = graph.triplets
+        rng = np.random.default_rng(0)
+        pos = model.score(t[:, 0], t[:, 1], t[:, 2]).mean()
+        neg = model.score(
+            t[:, 0], t[:, 1], rng.integers(0, graph.num_entities, len(t))
+        ).mean()
+        assert pos < neg
+
+    def test_entity_norms_bounded(self, graph):
+        model = TransE(graph.num_entities, graph.num_relations)
+        model.fit(graph.triplets, epochs=3)
+        assert (np.linalg.norm(model.entities, axis=1) <= 1.0 + 1e-9).all()
+
+    def test_deterministic_by_seed(self, graph):
+        a = TransE(graph.num_entities, graph.num_relations, TransEConfig(seed=5))
+        b = TransE(graph.num_entities, graph.num_relations, TransEConfig(seed=5))
+        a.fit(graph.triplets, epochs=2)
+        b.fit(graph.triplets, epochs=2)
+        np.testing.assert_array_equal(a.entities, b.entities)
