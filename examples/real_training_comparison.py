@@ -9,7 +9,6 @@ fine-tuning/distillation, and accuracy comes from a held-out split.
 Run:  python examples/real_training_comparison.py        (~5-10 minutes)
 """
 
-import numpy as np
 
 from repro.baselines import EvolutionSearch, RLSearch, RandomSearch
 from repro.core.evaluator import TrainingEvaluator

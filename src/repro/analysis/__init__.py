@@ -1,0 +1,55 @@
+"""Static analysis and runtime sanitizers for models and schemes.
+
+Three passes, one severity model (``ok``/``warning``/``error``), structured
+:class:`Diagnostic` findings with stable rule ids:
+
+* **Static graph verifier** (:func:`verify_model`) — traces any ``Module``
+  tree into a :class:`~repro.analysis.graph.ModelGraph` and runs shape /
+  channel inference without a forward pass (``V###`` rules).
+* **Scheme linter** (:func:`lint_scheme`) — validates compression schemes
+  against the search space before evaluators charge simulated GPU-hours
+  (``L###`` rules); :class:`SchemeRejected` is raised by evaluators when an
+  error-severity finding fires.
+* **Autodiff anomaly mode** (:func:`detect_anomaly`) — opt-in NaN/Inf
+  sanitizer at op boundaries during forward/backward, reporting the
+  originating op with its creation context.
+
+``repro analyze`` exposes the verifier and linter on the command line; the
+rule catalogue is documented in ``docs/static_analysis.md``.
+"""
+
+from .anomaly import AnomalyError, anomaly_enabled, detect_anomaly
+from .diagnostics import Diagnostic, Report, Severity, VerificationError
+from .graph import GraphNode, GraphTracer, ModelGraph, TensorSpec, trace_model
+from .linter import SchemeRejected, lint_scheme
+from .verifier import (
+    DEFAULT_INPUT_SHAPE,
+    assert_valid,
+    check_finite_parameters,
+    infer_output_spec,
+    verify_checkpoint,
+    verify_model,
+)
+
+__all__ = [
+    "AnomalyError",
+    "DEFAULT_INPUT_SHAPE",
+    "Diagnostic",
+    "GraphNode",
+    "GraphTracer",
+    "ModelGraph",
+    "Report",
+    "SchemeRejected",
+    "Severity",
+    "TensorSpec",
+    "VerificationError",
+    "anomaly_enabled",
+    "assert_valid",
+    "check_finite_parameters",
+    "detect_anomaly",
+    "infer_output_spec",
+    "lint_scheme",
+    "trace_model",
+    "verify_checkpoint",
+    "verify_model",
+]

@@ -1,0 +1,28 @@
+"""Autodiff anomaly mode — the dynamic counterpart of the static verifier.
+
+The machinery lives in :mod:`repro.nn.tensor` (it must intercept every op
+boundary); this module is the analysis-facing surface:
+
+* :func:`detect_anomaly` — context manager; inside it every forward op output
+  and every backward gradient is checked for NaN/Inf, and an
+  :class:`AnomalyError` names the originating op with the stack where its
+  output tensor was created;
+* :func:`anomaly_enabled` — whether a context is active (used by tests and
+  by code that wants to skip redundant checks);
+* :class:`~repro.nn.train.Trainer` accepts ``detect_anomaly=True`` to wrap
+  its whole gradient loop in the context.
+
+Typical debugging session::
+
+    from repro.analysis import detect_anomaly, AnomalyError
+
+    with detect_anomaly():
+        loss = cross_entropy(model(Tensor(x)), y)
+        loss.backward()          # raises AnomalyError at the faulty op
+"""
+
+from __future__ import annotations
+
+from ..nn.tensor import AnomalyError, anomaly_enabled, detect_anomaly
+
+__all__ = ["AnomalyError", "anomaly_enabled", "detect_anomaly"]

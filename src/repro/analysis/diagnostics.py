@@ -1,0 +1,154 @@
+"""Structured diagnostics shared by every analysis pass.
+
+A pass (graph verifier, scheme linter, checkpoint checks) reports findings as
+:class:`Diagnostic` records — rule id, severity, location, message, and the
+expected/actual values that triggered the rule — collected into a
+:class:`Report`.  Severities follow a three-level model:
+
+* ``ok``      — informational; the subject passed a check worth mentioning.
+* ``warning`` — suspicious but executable (wasted budget, no-op structure).
+* ``error``   — the subject is guaranteed to fail or misbehave when run.
+
+Rule ids are stable strings (``V###`` for the model verifier, ``L###`` for
+the scheme linter, ``C###`` for checkpoint checks) so tests and tooling can
+match on them; the catalogue lives in ``docs/static_analysis.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, List, Optional, Set
+
+
+class Severity(Enum):
+    """Three-level finding severity."""
+
+    OK = "ok"
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one analysis rule at one location."""
+
+    rule: str
+    severity: Severity
+    where: str  # dotted module path, scheme step, or "" for the whole subject
+    message: str
+    expected: Optional[object] = None
+    actual: Optional[object] = None
+
+    def format(self) -> str:
+        location = f" {self.where}" if self.where else ""
+        tail = ""
+        if self.expected is not None or self.actual is not None:
+            tail = f" (expected {self.expected}, got {self.actual})"
+        return f"[{self.severity.value:>7s}] {self.rule}{location}: {self.message}{tail}"
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+class VerificationError(RuntimeError):
+    """Raised by ``Report.raise_on_error`` when a report contains errors."""
+
+    def __init__(self, report: "Report"):
+        self.report = report
+        lines = "\n".join(d.format() for d in report.errors)
+        super().__init__(f"{report.subject}: verification failed\n{lines}")
+
+
+@dataclass
+class Report:
+    """Ordered collection of diagnostics about one subject."""
+
+    subject: str
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    # -- construction ------------------------------------------------------
+    def add(
+        self,
+        rule: str,
+        severity: Severity,
+        where: str,
+        message: str,
+        expected: Optional[object] = None,
+        actual: Optional[object] = None,
+    ) -> Diagnostic:
+        diagnostic = Diagnostic(rule, severity, where, message, expected, actual)
+        self.diagnostics.append(diagnostic)
+        return diagnostic
+
+    def error(self, rule: str, where: str, message: str, **kw) -> Diagnostic:
+        return self.add(rule, Severity.ERROR, where, message, **kw)
+
+    def warn(self, rule: str, where: str, message: str, **kw) -> Diagnostic:
+        return self.add(rule, Severity.WARNING, where, message, **kw)
+
+    def note(self, rule: str, where: str, message: str, **kw) -> Diagnostic:
+        return self.add(rule, Severity.OK, where, message, **kw)
+
+    def extend(self, other: "Report") -> None:
+        self.diagnostics.extend(other.diagnostics)
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    @property
+    def is_clean(self) -> bool:
+        """No warnings and no errors (informational notes are allowed)."""
+        return not self.has_errors and not self.warnings
+
+    @property
+    def status(self) -> Severity:
+        if self.has_errors:
+            return Severity.ERROR
+        if self.warnings:
+            return Severity.WARNING
+        return Severity.OK
+
+    def rules(self) -> Set[str]:
+        """The set of rule ids that fired (any severity above ``ok``)."""
+        return {d.rule for d in self.diagnostics if d.severity is not Severity.OK}
+
+    def by_rule(self, rule: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.rule == rule]
+
+    # -- presentation ------------------------------------------------------
+    def format(self, verbose: bool = False) -> str:
+        shown: Iterable[Diagnostic] = (
+            self.diagnostics
+            if verbose
+            else [d for d in self.diagnostics if d.severity is not Severity.OK]
+        )
+        lines = [f"{self.subject}: {self.status.value}"]
+        lines += [f"  {d.format()}" for d in shown]
+        if self.is_clean:
+            lines[0] = f"{self.subject}: clean"
+        return "\n".join(lines)
+
+    def raise_on_error(self) -> "Report":
+        if self.has_errors:
+            raise VerificationError(self)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __str__(self) -> str:
+        return self.format()

@@ -6,6 +6,7 @@ search       run AutoMC (or a baseline) on a paper-scale task
 table2/3     regenerate the paper's tables
 figure4/5/6  regenerate the paper's figures
 inspect      print the search-space / knowledge-graph inventory
+analyze      statically verify models / checkpoints / schemes
 """
 
 from __future__ import annotations
@@ -28,7 +29,7 @@ def _config(args) -> "ExperimentConfig":
 
 
 def cmd_search(args) -> int:
-    from .experiments.common import EXPERIMENTS, run_algorithm
+    from .experiments.common import run_algorithm
 
     exp = {"exp1": "Exp1", "exp2": "Exp2"}[args.experiment]
     result = run_algorithm(args.algorithm, exp, _config(args))
@@ -109,6 +110,66 @@ def cmd_inspect(args) -> int:
     return 0
 
 
+def cmd_analyze(args) -> int:
+    from .analysis import lint_scheme, verify_checkpoint, verify_model
+    from .models import available_models, create_model
+    from .nn.serialization import load_state
+    from .space import StrategySpace
+
+    try:
+        input_shape = tuple(int(d) for d in args.input_shape.split(","))
+    except ValueError:
+        input_shape = ()
+    if len(input_shape) != 3:
+        print(f"--input-shape must be C,H,W (got {args.input_shape!r})", file=sys.stderr)
+        return 2
+
+    if args.model and args.model not in available_models():
+        print(f"unknown model {args.model!r}; available: {', '.join(available_models())}",
+              file=sys.stderr)
+        return 2
+
+    reports = []
+    if args.all_models:
+        for model_name in available_models():
+            model = create_model(model_name, num_classes=args.num_classes)
+            reports.append(verify_model(model, input_shape=input_shape, name=model_name))
+    elif args.model:
+        model = create_model(args.model, num_classes=args.num_classes)
+        if args.checkpoint:
+            state = load_state(args.checkpoint)
+            reports.append(
+                verify_checkpoint(
+                    state, model, input_shape=input_shape,
+                    name=f"{args.model} @ {args.checkpoint}",
+                )
+            )
+        else:
+            reports.append(verify_model(model, input_shape=input_shape, name=args.model))
+    elif args.checkpoint:
+        reports.append(verify_checkpoint(load_state(args.checkpoint), name=args.checkpoint))
+
+    if args.scheme:
+        space = StrategySpace(include_quantization=True)
+        try:
+            scheme = space.parse_scheme(args.scheme)
+        except ValueError as exc:
+            print(f"cannot parse scheme: {exc}", file=sys.stderr)
+            return 2
+        reports.append(lint_scheme(scheme))
+
+    if not reports:
+        print("nothing to analyze: give MODEL, --all-models, --checkpoint or --scheme",
+              file=sys.stderr)
+        return 2
+
+    failed = False
+    for report in reports:
+        print(report.format(verbose=args.verbose))
+        failed |= report.has_errors or (args.strict and bool(report.warnings))
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -152,6 +213,25 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("inspect", help="print search-space inventory")
     p.add_argument("--graph", action="store_true", help="also build the KG")
     p.set_defaults(func=cmd_inspect)
+
+    p = sub.add_parser(
+        "analyze",
+        help="statically verify models / checkpoints / lint schemes",
+        description="Static analysis: graph verification of registered models, "
+                    "checkpoint sanity checks and compression-scheme linting. "
+                    "Exits 1 when any report has errors (or warnings with --strict).",
+    )
+    p.add_argument("model", nargs="?", help="registered model name (see repro.models)")
+    p.add_argument("--all-models", action="store_true",
+                   help="verify every registered model")
+    p.add_argument("--checkpoint", help=".npz checkpoint to verify "
+                   "(against MODEL when given)")
+    p.add_argument("--scheme", help='scheme to lint, e.g. "C3[HP1=0.5,...]"')
+    p.add_argument("--num-classes", type=int, default=10)
+    p.add_argument("--input-shape", default="3,32,32", help="C,H,W (default 3,32,32)")
+    p.add_argument("--strict", action="store_true", help="warnings also fail")
+    p.add_argument("--verbose", action="store_true", help="also print ok-level notes")
+    p.set_defaults(func=cmd_analyze)
     return parser
 
 

@@ -21,7 +21,6 @@ from .base import CompressionMethod, ExecutionContext, StepReport
 from .masks import zero_unit_channels
 from .surgery import (
     filter_l2_norms,
-    params_per_channel,
     plan_global_pruning,
     prune_by_scores,
 )

@@ -10,8 +10,9 @@ measured, never estimated.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -23,11 +24,77 @@ class SurgeryError(RuntimeError):
     """Raised when a structural edit cannot be applied."""
 
 
+#: when True, :func:`prune_unit` re-checks the unit's channel wiring after
+#: every edit (see :func:`check_unit`); toggled by `self_verifying_surgery`.
+_SELF_VERIFY = False
+
+
+def set_self_verify(enabled: bool) -> bool:
+    """Enable/disable post-edit unit checks globally; returns previous value."""
+    global _SELF_VERIFY
+    previous = _SELF_VERIFY
+    _SELF_VERIFY = bool(enabled)
+    return previous
+
+
+@contextlib.contextmanager
+def self_verifying_surgery() -> Iterator[None]:
+    """Context manager: every ``prune_unit`` verifies its wiring afterwards."""
+    previous = set_self_verify(True)
+    try:
+        yield
+    finally:
+        set_self_verify(previous)
+
+
+def _channel_count(module: Module, attr: str) -> Optional[int]:
+    for name in (attr, attr.replace("channels", "features")):
+        value = getattr(module, name, None)
+        if value is not None:
+            return int(value)
+    return None
+
+
+def check_unit(unit: PrunableUnit) -> None:
+    """Verify a unit's producer/bn/consumer channel counts are consistent.
+
+    Raises :class:`SurgeryError` on the first mismatch — the structural
+    analogue of the V001/V002 rules in :mod:`repro.analysis`, applied right
+    at the edit site so a botched rewiring fails loudly instead of surfacing
+    later as a shape error deep inside a forward pass.
+    """
+    out = unit.out_channels
+    if out <= 0:
+        raise SurgeryError(f"{unit.name}: producer has {out} output channels")
+    if unit.bn is not None and unit.bn.num_features != out:
+        raise SurgeryError(
+            f"{unit.name}: batch norm tracks {unit.bn.num_features} features "
+            f"but producer emits {out} channels"
+        )
+    for consumer in unit.consumers:
+        expected = _channel_count(consumer, "in_channels")
+        if expected is not None and expected != out:
+            raise SurgeryError(
+                f"{unit.name}: consumer {type(consumer).__name__} expects "
+                f"{expected} input channels but producer emits {out}"
+            )
+
+
 # --------------------------------------------------------------------------- #
 # Channel shrink primitives
 # --------------------------------------------------------------------------- #
+def _require_nonempty(keep: np.ndarray, module: Module, role: str) -> np.ndarray:
+    keep = np.asarray(keep)
+    if keep.size == 0:
+        raise SurgeryError(
+            f"cannot remove every {role} channel of {type(module).__name__}"
+        )
+    return keep
+
+
 def shrink_output(module: Module, keep: np.ndarray) -> None:
     """Remove output channels of ``module``, keeping indices ``keep``."""
+    keep = _require_nonempty(keep, module, "output")
     custom = getattr(module, "shrink_output_channels", None)
     if custom is not None:
         custom(keep)
@@ -44,6 +111,7 @@ def shrink_output(module: Module, keep: np.ndarray) -> None:
 
 def shrink_input(module: Module, keep: np.ndarray) -> None:
     """Remove input channels of ``module``, keeping indices ``keep``."""
+    keep = _require_nonempty(keep, module, "input")
     custom = getattr(module, "shrink_input_channels", None)
     if custom is not None:
         custom(keep)
@@ -57,6 +125,7 @@ def shrink_input(module: Module, keep: np.ndarray) -> None:
 
 def shrink_bn(bn: BatchNorm2d, keep: np.ndarray) -> None:
     """Slice a batch-norm's affine parameters and running statistics."""
+    keep = _require_nonempty(keep, bn, "normalised")
     bn.gamma.data = np.ascontiguousarray(bn.gamma.data[keep])
     bn.beta.data = np.ascontiguousarray(bn.beta.data[keep])
     bn.gamma.grad = None
@@ -77,6 +146,8 @@ def prune_unit(unit: PrunableUnit, keep: np.ndarray) -> None:
         shrink_bn(unit.bn, keep)
     for consumer in unit.consumers:
         shrink_input(consumer, keep)
+    if _SELF_VERIFY:
+        check_unit(unit)
 
 
 # --------------------------------------------------------------------------- #

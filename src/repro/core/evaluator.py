@@ -26,6 +26,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..analysis.diagnostics import Report
+from ..analysis.linter import SchemeRejected, lint_scheme
 from ..compression import ExecutionContext, StepReport
 from ..data.tasks import CompressionTask
 from ..nn import Module, Trainer, evaluate_accuracy, profile_model
@@ -86,12 +88,21 @@ class EvaluationResult:
 class SchemeEvaluator:
     """Shared caching / cost-accounting base for both backends."""
 
-    def __init__(self, task: CompressionTask, model_cache_size: int = 16, seed: int = 0):
+    def __init__(
+        self,
+        task: CompressionTask,
+        model_cache_size: int = 16,
+        seed: int = 0,
+        lint_schemes: bool = True,
+    ):
         self.task = task
         self.seed = seed
         self.results: Dict[str, EvaluationResult] = {}
         self.total_cost = 0.0
         self.evaluation_count = 0
+        self.lint_schemes = lint_schemes
+        self.rejected_count = 0
+        self.rejected: Dict[str, Report] = {}
         self._model_cache: "OrderedDict[str, Tuple[Module, float]]" = OrderedDict()
         self._model_cache_size = model_cache_size
 
@@ -110,11 +121,30 @@ class SchemeEvaluator:
         return 0
 
     # -- public API ----------------------------------------------------------
+    def lint(self, scheme: CompressionScheme) -> Report:
+        """Lint ``scheme``; record and raise :class:`SchemeRejected` on errors.
+
+        Rejection happens *before* any simulated GPU-hours are charged — a
+        doomed scheme costs the search nothing but the lint itself.
+        """
+        report = lint_scheme(scheme)
+        if report.has_errors:
+            self.rejected_count += 1
+            self.rejected[scheme.identifier] = report
+            raise SchemeRejected(scheme, report)
+        return report
+
     def evaluate(self, scheme: CompressionScheme) -> EvaluationResult:
-        """Evaluate (with caching) one compression scheme."""
+        """Evaluate (with caching) one compression scheme.
+
+        Raises :class:`~repro.analysis.linter.SchemeRejected` when linting is
+        enabled and the scheme has an error-severity finding.
+        """
         key = scheme.identifier
         if key in self.results:
             return self.results[key]
+        if self.lint_schemes and not scheme.is_empty:
+            self.lint(scheme)
         result = self._evaluate(scheme)
         self.results[key] = result
         self.total_cost += result.cost
@@ -157,6 +187,7 @@ class TrainingEvaluator(SchemeEvaluator):
         trainer: Optional[Trainer] = None,
         task: Optional[CompressionTask] = None,
         seed: int = 0,
+        lint_schemes: bool = True,
     ):
         self.model_factory = model_factory
         self.train_data = train_data
@@ -177,7 +208,7 @@ class TrainingEvaluator(SchemeEvaluator):
             from ..data.tasks import task_from_dataset
 
             task = task_from_dataset(train_data, base_model, "custom", self.base_accuracy)
-        super().__init__(task, seed=seed)
+        super().__init__(task, seed=seed, lint_schemes=lint_schemes)
 
     def _evaluate(self, scheme: CompressionScheme) -> EvaluationResult:
         prefix_len = self._longest_cached_prefix(scheme)
@@ -235,8 +266,11 @@ class SurrogateEvaluator(SchemeEvaluator):
         data_fraction: float = 0.1,
         seed: int = 0,
         model_cache_size: int = 32,
+        lint_schemes: bool = True,
     ):
-        super().__init__(task, model_cache_size=model_cache_size, seed=seed)
+        super().__init__(
+            task, model_cache_size=model_cache_size, seed=seed, lint_schemes=lint_schemes
+        )
         self.model_factory = model_factory
         self.model_name = model_name
         self.dataset_name = dataset_name

@@ -14,7 +14,7 @@ from typing import Optional, Tuple
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
-from .tensor import Tensor
+from .tensor import Tensor, _register_op
 
 # Optional sink used by repro.nn.profile to count FLOPs during a forward
 # pass.  When set, conv2d/linear call ``_PROFILE_SINK(name, flops)``.
@@ -96,7 +96,7 @@ def conv2d(
     result = Tensor(out, requires_grad=requires, _parents=parents if requires else ())
     if requires:
         result._backward = backward
-    return result
+    return _register_op(result, "conv2d")
 
 
 def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
@@ -134,7 +134,7 @@ def max_pool2d(x: Tensor, kernel: int = 2, stride: Optional[int] = None) -> Tens
     result = Tensor(out, requires_grad=x.requires_grad, _parents=(x,) if x.requires_grad else ())
     if x.requires_grad:
         result._backward = backward
-    return result
+    return _register_op(result, "max_pool2d")
 
 
 def avg_pool2d(x: Tensor, kernel: int = 2, stride: Optional[int] = None) -> Tensor:
@@ -160,7 +160,7 @@ def avg_pool2d(x: Tensor, kernel: int = 2, stride: Optional[int] = None) -> Tens
     result = Tensor(out, requires_grad=x.requires_grad, _parents=(x,) if x.requires_grad else ())
     if x.requires_grad:
         result._backward = backward
-    return result
+    return _register_op(result, "avg_pool2d")
 
 
 def global_avg_pool2d(x: Tensor) -> Tensor:

@@ -6,7 +6,7 @@ models: top-k accuracy, per-class accuracy, and confusion matrices.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 

@@ -18,11 +18,107 @@ forward data.
 
 from __future__ import annotations
 
+import sys
+import traceback
+from contextlib import contextmanager
 from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+
+# --------------------------------------------------------------------------- #
+# Anomaly detection (the autodiff sanitizer used by repro.analysis)
+# --------------------------------------------------------------------------- #
+class AnomalyError(ArithmeticError):
+    """An op produced NaN/Inf data or gradients while anomaly mode was on."""
+
+    def __init__(self, op: str, phase: str, kind: str, context: str = ""):
+        self.op = op or "<leaf or untracked op>"
+        self.phase = phase
+        self.kind = kind
+        self.context = context
+        message = f"{phase} pass produced {kind} in the output of op {self.op!r}"
+        if context:
+            message += f"\ntensor created at:\n{context}"
+        super().__init__(message)
+
+
+class _AnomalyState:
+    __slots__ = ("check_nan", "check_inf", "capture_stacks", "context_frames")
+
+    def __init__(self, check_nan: bool, check_inf: bool, capture_stacks: bool, context_frames: int):
+        self.check_nan = check_nan
+        self.check_inf = check_inf
+        self.capture_stacks = capture_stacks
+        self.context_frames = context_frames
+
+    def bad_kind(self, data: np.ndarray) -> Optional[str]:
+        """Name of the first anomaly present in ``data``, or None."""
+        if self.check_nan and self.check_inf:
+            if not np.isfinite(data).all():
+                return "NaN" if np.isnan(data).any() else "Inf"
+            return None
+        if self.check_nan and np.isnan(data).any():
+            return "NaN"
+        if self.check_inf and np.isinf(data).any():
+            return "Inf"
+        return None
+
+
+_ANOMALY: Optional[_AnomalyState] = None
+
+
+def anomaly_enabled() -> bool:
+    """Whether an anomaly-detection context is currently active."""
+    return _ANOMALY is not None
+
+
+@contextmanager
+def detect_anomaly(
+    check_nan: bool = True,
+    check_inf: bool = True,
+    capture_stacks: bool = True,
+    context_frames: int = 6,
+):
+    """Check tensors for NaN/Inf at op boundaries, forward and backward.
+
+    Inside the context every op output is validated as it is created, and the
+    backward pass validates each gradient as it is produced, so an
+    :class:`AnomalyError` names the *originating* op (with the Python stack
+    where its output tensor was created) rather than a symptom far
+    downstream.  Opt-in because the checks and stack captures cost time —
+    mirror of ``torch.autograd.detect_anomaly``.
+    """
+    global _ANOMALY
+    previous = _ANOMALY
+    _ANOMALY = _AnomalyState(check_nan, check_inf, capture_stacks, context_frames)
+    try:
+        yield
+    finally:
+        _ANOMALY = previous
+
+
+def _capture_context(state: _AnomalyState) -> str:
+    if not state.capture_stacks:
+        return ""
+    here = __file__
+    frames = [f for f in traceback.extract_stack() if f.filename != here]
+    return "".join(traceback.format_list(frames[-state.context_frames:]))
+
+
+def _register_op(out: "Tensor", op: str) -> "Tensor":
+    """Attach op metadata to ``out`` and validate it (anomaly mode only)."""
+    state = _ANOMALY
+    if state is None:
+        return out
+    out._op = op
+    out._ctx = _capture_context(state)
+    kind = state.bad_kind(out.data)
+    if kind is not None:
+        raise AnomalyError(op, "forward", kind, out._ctx)
+    return out
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -53,7 +149,7 @@ def _as_array(value: ArrayLike, dtype=np.float64) -> np.ndarray:
 class Tensor:
     """A numpy array plus the bookkeeping needed for reverse-mode autodiff."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name", "_op", "_ctx")
 
     def __init__(
         self,
@@ -68,6 +164,9 @@ class Tensor:
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._parents = _parents
         self.name = name
+        # Populated by _register_op while anomaly mode is active.
+        self._op = ""
+        self._ctx = ""
 
     # ------------------------------------------------------------------ #
     # Introspection helpers
@@ -125,6 +224,9 @@ class Tensor:
         out = Tensor(data, requires_grad=requires, _parents=parents if requires else ())
         if requires:
             out._backward = backward
+        if _ANOMALY is not None:
+            # The caller is the op method itself (__add__, relu, conv2d, ...).
+            _register_op(out, sys._getframe(1).f_code.co_name)
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
@@ -417,9 +519,23 @@ class Tensor:
                 if id(parent) not in visited:
                     stack.append((parent, False))
         self.grad = np.asarray(grad, dtype=self.data.dtype)
+        state = _ANOMALY
+        if state is not None:
+            kind = state.bad_kind(self.grad)
+            if kind is not None:
+                raise AnomalyError(self._op, "backward", kind, self._ctx)
         for node in reversed(topo):
             if node._backward is not None and node.grad is not None:
                 node._backward(node.grad)
+                if state is not None:
+                    # All grads were finite before this closure ran, so a bad
+                    # parent grad pinpoints this node's op as the origin.
+                    for parent in node._parents:
+                        if parent.grad is None:
+                            continue
+                        kind = state.bad_kind(parent.grad)
+                        if kind is not None:
+                            raise AnomalyError(node._op, "backward", kind, node._ctx)
             # Free intermediate grads that nothing else needs? Keep them:
             # optimizers read leaf grads; intermediates are small in our nets.
 
@@ -441,7 +557,7 @@ def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     out = Tensor(data, requires_grad=requires, _parents=tuple(tensors) if requires else ())
     if requires:
         out._backward = backward
-    return out
+    return _register_op(out, "concat")
 
 
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
@@ -458,7 +574,7 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     out = Tensor(data, requires_grad=requires, _parents=tuple(tensors) if requires else ())
     if requires:
         out._backward = backward
-    return out
+    return _register_op(out, "stack")
 
 
 def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
@@ -476,4 +592,4 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
     out = Tensor(data, requires_grad=requires, _parents=(a, b) if requires else ())
     if requires:
         out._backward = backward
-    return out
+    return _register_op(out, "where")

@@ -7,6 +7,7 @@ loop) all drive it through small callbacks.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
@@ -15,7 +16,7 @@ import numpy as np
 from .layers import Module
 from .losses import cross_entropy
 from .optim import SGD, CosineSchedule, Optimizer
-from .tensor import Tensor
+from .tensor import Tensor, detect_anomaly
 
 
 @dataclass
@@ -56,6 +57,7 @@ class Trainer:
         batch_size: int = 32,
         seed: int = 0,
         cosine: bool = True,
+        detect_anomaly: bool = False,
     ):
         self.lr = lr
         self.momentum = momentum
@@ -63,6 +65,10 @@ class Trainer:
         self.batch_size = batch_size
         self.seed = seed
         self.cosine = cosine
+        #: when True, every forward/backward runs under
+        #: :func:`repro.nn.tensor.detect_anomaly` so the first NaN/Inf raises
+        #: an AnomalyError naming the op that produced it.
+        self.detect_anomaly = detect_anomaly
 
     def fit(
         self,
@@ -93,22 +99,24 @@ class Trainer:
         schedule = CosineSchedule(opt, total_steps) if self.cosine else None
         report = TrainReport(epochs=int(np.ceil(epochs)), steps=total_steps)
         rng = np.random.default_rng(self.seed)
+        guard = detect_anomaly() if self.detect_anomaly else contextlib.nullcontext()
         step = 0
-        while step < total_steps:
-            for xb, yb, idx in dataset.iter_batches(
-                self.batch_size, shuffle=True, rng=rng, with_indices=True
-            ):
-                logits = model(Tensor(xb))
-                loss = loss_fn(logits, yb, idx)
-                opt.zero_grad()
-                loss.backward()
-                opt.step()
-                if schedule is not None:
-                    schedule.step()
-                if step_hook is not None:
-                    step_hook(model, step)
-                report.losses.append(loss.item())
-                step += 1
-                if step >= total_steps:
-                    break
+        with guard:
+            while step < total_steps:
+                for xb, yb, idx in dataset.iter_batches(
+                    self.batch_size, shuffle=True, rng=rng, with_indices=True
+                ):
+                    logits = model(Tensor(xb))
+                    loss = loss_fn(logits, yb, idx)
+                    opt.zero_grad()
+                    loss.backward()
+                    opt.step()
+                    if schedule is not None:
+                        schedule.step()
+                    if step_hook is not None:
+                        step_hook(model, step)
+                    report.losses.append(loss.item())
+                    step += 1
+                    if step >= total_steps:
+                        break
         return report

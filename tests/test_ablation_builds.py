@@ -1,6 +1,5 @@
 """Build-path tests for the knowledge ablation variants (§4.5)."""
 
-import pytest
 
 from repro.core.ablation import VARIANTS, build_variant
 from repro.core.evaluator import SurrogateEvaluator

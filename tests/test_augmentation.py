@@ -1,7 +1,6 @@
 """Tests for training-time augmentation."""
 
 import numpy as np
-import pytest
 
 from repro.data import AugmentedDataset, random_crop, random_horizontal_flip, tiny_dataset
 from repro.models import resnet8

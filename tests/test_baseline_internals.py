@@ -9,7 +9,7 @@ from repro.core.evaluator import SurrogateEvaluator
 from repro.data.tasks import EXP1, transfer_task
 from repro.models import resnet20
 from repro.nn import Tensor
-from repro.space import CompressionScheme, StrategySpace
+from repro.space import StrategySpace
 from repro.space.hyperparams import HP_GRID, METHOD_HPS
 
 

@@ -1,6 +1,5 @@
 """Tests for the bottleneck ResNet variant."""
 
-import copy
 
 import numpy as np
 import pytest

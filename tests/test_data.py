@@ -6,10 +6,8 @@ import pytest
 from repro.data import (
     EXP1,
     EXP2,
-    CompressionTask,
     SyntheticImageDataset,
     synthetic_cifar10,
-    synthetic_cifar100,
     task_from_dataset,
     tiny_dataset,
     transfer_task,

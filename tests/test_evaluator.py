@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.evaluator import (
     EVAL_OVERHEAD_HOURS,
-    EvaluationResult,
     SurrogateEvaluator,
     TrainingEvaluator,
 )

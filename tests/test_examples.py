@@ -7,7 +7,6 @@ executes end to end.
 
 import importlib.util
 import py_compile
-import sys
 from pathlib import Path
 
 import pytest

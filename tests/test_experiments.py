@@ -10,7 +10,6 @@ from repro.experiments import (
     EXPERIMENTS,
     ExperimentConfig,
     run_figure4,
-    run_figure5,
     run_figure6,
     run_table2,
     run_table3,

@@ -1,6 +1,5 @@
 """Tests for the experiment plumbing helpers."""
 
-import numpy as np
 import pytest
 
 from repro.core.evaluator import EvaluationResult

@@ -1,9 +1,7 @@
 """Tests for TuckerConv2d / BasisConv2d and module replacement."""
 
-import copy
 
 import numpy as np
-import pytest
 
 from repro.compression.factorized import (
     BasisConv2d,
@@ -13,7 +11,7 @@ from repro.compression.factorized import (
 )
 from repro.compression.hooi import tucker2
 from repro.models import vgg8_tiny
-from repro.nn import Conv2d, Tensor
+from repro.nn import Tensor
 from repro.nn import functional as F
 
 

@@ -59,7 +59,6 @@ class TestPrediction:
     def test_training_fits_observations(self, fmo, small_space):
         """F_mo must learn a simple pattern: candidate i -> PR_step = HP2_i."""
         state = Fmo.state_features(1.0, 1.0, 0, 0.0)
-        rng = np.random.default_rng(0)
         for _ in range(3):  # repeated observations
             for i in range(0, len(small_space), 7):
                 strategy = small_space[i]

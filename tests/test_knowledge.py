@@ -6,7 +6,6 @@ import pytest
 
 from repro.knowledge import (
     EmbeddingConfig,
-    ExperienceRecord,
     TransR,
     TransRConfig,
     build_knowledge_graph,

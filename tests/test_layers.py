@@ -13,7 +13,6 @@ from repro.nn import (
     Linear,
     MaxPool2d,
     Module,
-    Parameter,
     ReLU,
     Sequential,
     Tensor,

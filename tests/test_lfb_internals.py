@@ -1,7 +1,6 @@
 """Unit tests for LFB's basis-size budgeting and SVD basis extraction."""
 
 import numpy as np
-import pytest
 
 from repro.compression.lfb import LearningFilterBasis, _basis_params, _max_useful_basis
 

@@ -17,7 +17,7 @@ from repro.compression import (
 )
 from repro.compression.factorized import BasisConv2d, TuckerConv2d
 from repro.models import resnet8, vgg8_tiny
-from repro.nn import Tensor, Trainer, evaluate_accuracy
+from repro.nn import Trainer, evaluate_accuracy
 
 HP_DEFAULTS = {
     "HP1": 0.2, "HP2": 0.2, "HP4": 3, "HP5": 0.5, "HP6": 0.9, "HP7": 0.4,
@@ -76,7 +76,6 @@ class TestMethodSpecifics:
         unit = model.pruning_units()[0]
         # Mark channel 0 as clearly least important.
         unit.bn.gamma.data[0] = 1e-6
-        first_filter = unit.producer.weight.data[1].copy()
         ctx = _context(tiny_data, train_enabled=False, original_params=model.num_parameters())
         METHODS["C3"].apply(model, {**HP_DEFAULTS, "HP2": 0.1}, ctx)
         unit_after = model.pruning_units()[0]

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.evaluator import EvaluationResult
 from repro.experiments.table3 import Table3Cell, Table3Result
-from repro.nn import SGD, Adam, Tensor, Trainer
+from repro.nn import Adam, Tensor, Trainer
 from repro.nn import functional as F
 from repro.space import CompressionScheme
 

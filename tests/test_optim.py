@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.nn import SGD, Adam, CosineSchedule, Linear, StepSchedule, Tensor
+from repro.nn import SGD, Adam, CosineSchedule, StepSchedule, Tensor
 from repro.nn.layers import Parameter
 
 

@@ -2,7 +2,6 @@
 
 import json
 
-import numpy as np
 import pytest
 
 from repro.core.evaluator import SurrogateEvaluator
@@ -10,7 +9,6 @@ from repro.data.tasks import EXP1, transfer_task
 from repro.experiments.export import (
     result_to_dict,
     search_to_dict,
-    table2_to_dict,
     write_json,
 )
 from repro.knowledge import (

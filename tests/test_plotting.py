@@ -1,6 +1,5 @@
 """Tests for the ASCII plotting helpers."""
 
-import pytest
 
 from repro.experiments.plotting import ascii_lines, ascii_scatter
 

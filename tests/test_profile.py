@@ -1,6 +1,5 @@
 """Tests for parameter/FLOP accounting."""
 
-import numpy as np
 import pytest
 
 from repro.models import resnet20, resnet56, vgg16

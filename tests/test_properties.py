@@ -4,7 +4,6 @@ These use the surrogate evaluator on ResNet-20 (cheap, ~0.1s per scheme)
 and check invariants that must hold for *any* scheme in the space.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

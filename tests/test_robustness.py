@@ -1,6 +1,5 @@
 """Failure-injection and edge-case robustness tests."""
 
-import copy
 
 import numpy as np
 import pytest
@@ -62,7 +61,7 @@ class TestRepeatedCompression:
         ctx = ExecutionContext(
             original_params=model.num_parameters(), train_enabled=False
         )
-        first = METHODS["C6"].apply(model, dict(HP), ctx)
+        METHODS["C6"].apply(model, dict(HP), ctx)
         second = METHODS["C6"].apply(model, {**HP, "HP2": 0.1}, ctx)
         # The second pass may find little left to factorize, but must not
         # *grow* the model.

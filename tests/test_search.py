@@ -93,7 +93,7 @@ class TestProgressiveSearch:
             config=ProgressiveConfig(sample_size=3, evals_per_round=3,
                                      candidate_subsample=64),
         )
-        result = searcher.run()
+        searcher.run()
         lengths = {r.scheme.length for r in searcher.evaluator.results.values()}
         assert max(lengths) >= 2  # extended beyond single strategies
 
@@ -110,7 +110,7 @@ class TestBaselines:
     def test_random_schemes_within_length(self, small_space):
         searcher = RandomSearch(make_evaluator(), small_space, gamma=0.2,
                                 budget_hours=BUDGET, max_length=3, seed=2)
-        result = searcher.run()
+        searcher.run()
         assert all(
             r.scheme.length <= 3
             for r in searcher.evaluator.results.values()

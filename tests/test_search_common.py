@@ -1,11 +1,10 @@
 """Tests for the shared SearchStrategy infrastructure."""
 
-import numpy as np
 import pytest
 
 from repro.baselines import RandomSearch
 from repro.core.evaluator import SurrogateEvaluator
-from repro.core.search import SearchStrategy, TrajectoryPoint
+from repro.core.search import SearchStrategy
 from repro.data.tasks import EXP1, transfer_task
 from repro.models import resnet20
 from repro.space import START, StrategySpace

@@ -1,10 +1,7 @@
 """Tests for the experience-derived hyperparameter preferences of the
 surrogate — the knowledge-to-reward channel."""
 
-import numpy as np
-import pytest
 
-from repro.knowledge.experience import default_experience
 from repro.sim.accuracy import AccuracyModel, _experience_preferences, _preferred_value
 from repro.space.hyperparams import HP_GRID
 

@@ -1,6 +1,5 @@
 """Tests for the strategy/scheme search space (§3.2)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -11,7 +10,6 @@ from repro.space import (
     METHOD_HPS,
     START,
     CompressionScheme,
-    CompressionStrategy,
     StrategySpace,
     grid_size,
     make_strategy,

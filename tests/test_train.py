@@ -1,13 +1,10 @@
 """Tests for the Trainer loop and accuracy evaluation."""
 
 import numpy as np
-import pytest
 
-from repro.data import tiny_dataset
 from repro.models import resnet8
 from repro.nn import Trainer, evaluate_accuracy
 from repro.nn.losses import mse_loss
-from repro.nn.tensor import Tensor
 
 
 class TestTrainer:
