@@ -11,6 +11,7 @@ Run:  python examples/real_training_comparison.py        (~5-10 minutes)
 
 
 from repro.baselines import EvolutionSearch, RLSearch, RandomSearch
+from repro.core.config import EvaluatorConfig
 from repro.core.evaluator import TrainingEvaluator
 from repro.core.progressive import ProgressiveConfig, ProgressiveSearch
 from repro.data import tiny_dataset
@@ -25,7 +26,8 @@ BUDGET = 1.2  # simulated GPU-hours; ~40-60 real evaluations per algorithm
 
 def make_evaluator(train, val) -> TrainingEvaluator:
     return TrainingEvaluator(
-        lambda: resnet8(num_classes=4), train, val, pretrain_epochs=3, seed=0
+        lambda: resnet8(num_classes=4), train, val,
+        config=EvaluatorConfig(pretrain_epochs=3, seed=0),
     )
 
 

@@ -65,22 +65,25 @@ class EvolutionSearch(SearchStrategy):
 
     # ------------------------------------------------------------------ #
     def run(self) -> SearchResult:
+        # Seed the population, then evaluate it as one batch — variation and
+        # selection consume only self.rng, so generating a full generation
+        # before submitting it through evaluate_many (and any engine workers
+        # behind it) replays the serial trajectory.
         population: List[CompressionScheme] = []
         while len(population) < self.population_size and self.budget_left() > 0:
             scheme = self.random_scheme()
             if not scheme.is_empty:
-                self.evaluator.evaluate(scheme)
                 population.append(scheme)
+        if population:
+            self.evaluator.evaluate_many(population)
         self.record()
 
         while self.budget_left() > 0 and population:
-            results = [self.evaluator.evaluate(s) for s in population]
+            results = self.evaluator.evaluate_many(population)  # cache hits
             points = np.stack([r.objectives for r in results])
 
             offspring: List[CompressionScheme] = []
             for _ in range(self.offspring_per_generation):
-                if self.budget_left() <= 0:
-                    break
                 i, j = self.rng.integers(0, len(population), size=2)
                 # Binary tournament on domination rank then crowding.
                 parent = population[int(i)] if self._beats(points, int(i), int(j)) else population[int(j)]
@@ -89,11 +92,12 @@ class EvolutionSearch(SearchStrategy):
                     child = self._crossover(parent, other)
                 else:
                     child = self._mutate(parent)
-                self.evaluator.evaluate(child)
                 offspring.append(child)
+            if offspring:
+                self.evaluator.evaluate_many(offspring)
 
             merged = population + offspring
-            merged_results = [self.evaluator.evaluate(s) for s in merged]
+            merged_results = self.evaluator.evaluate_many(merged)
             merged_points = np.stack([r.objectives for r in merged_results])
             population = self._environmental_selection(merged, merged_points)
             self.record()

@@ -13,7 +13,8 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from ..core.evaluator import EvaluationResult, SchemeEvaluator
+from ..core.evaluator import EvaluationResult
+from ..core.interface import Evaluator
 from ..space.hyperparams import HP_GRID, METHOD_HPS
 from ..space.scheme import CompressionScheme
 from ..space.strategy import make_strategy
@@ -30,7 +31,7 @@ class GridSearchOutcome:
 
 
 def run_human_method(
-    evaluator: SchemeEvaluator,
+    evaluator: Evaluator,
     method_label: str,
     target_pr: float,
     fine_tune: float = 0.5,
@@ -40,7 +41,8 @@ def run_human_method(
 
     HP2 is pinned to the target; HP1 (and HP9 for SFP) to the most generous
     epoch setting — matching how the paper tunes human baselines before
-    comparing against searched schemes.
+    comparing against searched schemes.  The whole grid (up to the cap) is
+    submitted as one ``evaluate_many`` batch.
     """
     hp_names = METHOD_HPS[method_label]
     fixed: Dict[str, object] = {}
@@ -52,20 +54,21 @@ def run_human_method(
         fixed["HP9"] = fine_tune
     free = [name for name in hp_names if name not in fixed]
 
-    best: Optional[EvaluationResult] = None
-    count = 0
+    schemes: List[CompressionScheme] = []
     for values in itertools.product(*(HP_GRID[name] for name in free)):
-        if max_evaluations is not None and count >= max_evaluations:
+        if max_evaluations is not None and len(schemes) >= max_evaluations:
             break
         hp = dict(fixed)
         hp.update(zip(free, values))
-        strategy = make_strategy(method_label, hp)
-        result = evaluator.evaluate(CompressionScheme((strategy,)))
-        count += 1
+        schemes.append(CompressionScheme((make_strategy(method_label, hp),)))
+    if not schemes:
+        raise RuntimeError(f"grid search produced no evaluations for {method_label}")
+
+    best: Optional[EvaluationResult] = None
+    for result in evaluator.evaluate_many(schemes):
         if best is None or result.accuracy > best.accuracy:
             best = result
-    if best is None:
-        raise RuntimeError(f"grid search produced no evaluations for {method_label}")
+    count = len(schemes)
     return GridSearchOutcome(
         method_label=method_label,
         target_pr=target_pr,
@@ -75,7 +78,7 @@ def run_human_method(
 
 
 def run_all_human_methods(
-    evaluator: SchemeEvaluator,
+    evaluator: Evaluator,
     target_pr: float,
     method_labels: Sequence[str] = ("C1", "C2", "C3", "C4", "C5", "C6"),
     max_evaluations_per_method: Optional[int] = 96,

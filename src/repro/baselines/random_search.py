@@ -16,15 +16,20 @@ class RandomSearch(SearchStrategy):
 
     def run(self) -> SearchResult:
         self.record()
-        since_record = 0
         while self.budget_left() > 0:
-            scheme = self.random_scheme()
-            if scheme.is_empty:
-                continue
-            self.evaluator.evaluate(scheme)
-            since_record += 1
-            if since_record >= self.record_every:
-                self.record()
-                since_record = 0
+            # One batch per trajectory snapshot: generation consumes only
+            # self.rng, so batching through evaluate_many (and any engine
+            # workers behind it) preserves the serial scheme sequence.
+            batch = []
+            attempts = 0
+            while len(batch) < self.record_every and attempts < 4 * self.record_every:
+                scheme = self.random_scheme()
+                attempts += 1
+                if not scheme.is_empty:
+                    batch.append(scheme)
+            if not batch:
+                break
+            self.evaluator.evaluate_many(batch)
+            self.record()
         self.record()
         return self.finish()

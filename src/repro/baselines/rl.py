@@ -115,17 +115,23 @@ class RLSearch(SearchStrategy):
     def run(self) -> SearchResult:
         self.record()
         while self.budget_left() > 0:
-            batch: List[Tuple[List[Tensor], float]] = []
+            # Sample the whole controller batch first (the controller is
+            # only updated after the batch, so sampling is independent of
+            # the evaluations), then submit it through evaluate_many so an
+            # engine can evaluate the batch in parallel.
+            sampled: List[Tuple[CompressionScheme, List[Tensor]]] = []
             for _ in range(self.batch_size):
-                if self.budget_left() <= 0:
-                    break
                 scheme, log_probs = self._sample_scheme()
                 if scheme.is_empty or not log_probs:
                     continue
-                result = self.evaluator.evaluate(scheme)
-                batch.append((log_probs, self._reward(result)))
-            if not batch:
+                sampled.append((scheme, log_probs))
+            if not sampled:
                 break
+            results = self.evaluator.evaluate_many([s for s, _ in sampled])
+            batch: List[Tuple[List[Tensor], float]] = [
+                (log_probs, self._reward(result))
+                for (_, log_probs), result in zip(sampled, results)
+            ]
             rewards = np.array([r for _, r in batch])
             if not self._baseline_initialised:
                 self._baseline = float(rewards.mean())

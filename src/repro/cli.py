@@ -25,7 +25,12 @@ def _add_budget_args(parser: argparse.ArgumentParser) -> None:
 def _config(args) -> "ExperimentConfig":
     from .experiments import ExperimentConfig
 
-    return ExperimentConfig(budget_hours=args.budget, seed=args.seed)
+    return ExperimentConfig(
+        budget_hours=args.budget,
+        seed=args.seed,
+        workers=getattr(args, "workers", 0),
+        cache_dir=getattr(args, "cache_dir", None),
+    )
 
 
 def cmd_search(args) -> int:
@@ -34,6 +39,13 @@ def cmd_search(args) -> int:
     exp = {"exp1": "Exp1", "exp2": "Exp2"}[args.experiment]
     result = run_algorithm(args.algorithm, exp, _config(args))
     print(result.summary())
+    if result.engine_stats is not None:
+        stats = result.engine_stats
+        print(
+            f"engine: {stats['workers']} workers, "
+            f"{stats['fresh_evaluations']} fresh evaluations, "
+            f"{stats['cache_hits']} persistent-cache hits"
+        )
     print()
     print(f"Pareto schemes with PR >= {result.gamma:.0%}:")
     for r in sorted(result.pareto, key=lambda r: r.pr):
@@ -181,6 +193,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("experiment", choices=["exp1", "exp2"])
     p.add_argument("--algorithm", default="AutoMC",
                    choices=["AutoMC", "Evolution", "RL", "Random"])
+    p.add_argument("--workers", type=int, default=0,
+                   help="evaluation worker processes (0 = serial, same results)")
+    p.add_argument("--cache-dir", dest="cache_dir", default=None,
+                   help="persistent result cache; repeated runs skip "
+                        "already-evaluated schemes")
     _add_budget_args(p)
     p.set_defaults(func=cmd_search)
 

@@ -1,7 +1,9 @@
-"""AutoMC core: evaluators, F_mo, progressive search, Pareto tools, facade."""
+"""AutoMC core: evaluators, engine, F_mo, progressive search, Pareto tools."""
 
 from .ablation import VARIANTS, build_variant
 from .api import AutoMC
+from .config import EvaluatorConfig
+from .engine import EvaluationEngine, ResultCache
 from .evaluator import (
     EvaluationResult,
     SchemeEvaluator,
@@ -9,6 +11,7 @@ from .evaluator import (
     TrainingEvaluator,
 )
 from .fmo import Fmo, FmoNetwork
+from .interface import Evaluator
 from .pareto import (
     crowding_distance,
     hypervolume_2d,
@@ -22,11 +25,15 @@ from .search import SearchResult, SearchStrategy, TrajectoryPoint
 
 __all__ = [
     "AutoMC",
+    "EvaluationEngine",
     "EvaluationResult",
+    "Evaluator",
+    "EvaluatorConfig",
     "Fmo",
     "FmoNetwork",
     "ProgressiveConfig",
     "ProgressiveSearch",
+    "ResultCache",
     "SchemeEvaluator",
     "SearchResult",
     "SearchStrategy",

@@ -20,7 +20,7 @@ from typing import Optional
 from ..baselines.rl import RLSearch
 from ..knowledge.embedding import EmbeddingConfig, learn_embeddings
 from ..space.strategy import StrategySpace
-from .evaluator import SchemeEvaluator
+from .interface import Evaluator
 from .progressive import ProgressiveConfig, ProgressiveSearch
 from .search import SearchStrategy
 
@@ -35,7 +35,7 @@ VARIANTS = (
 
 def build_variant(
     name: str,
-    evaluator: SchemeEvaluator,
+    evaluator: Evaluator,
     gamma: float = 0.3,
     budget_hours: float = 24.0,
     max_length: int = 5,

@@ -7,6 +7,14 @@ Typical use (paper scale, surrogate accuracy):
     result = automc.search()
     print(result.summary())
 
+Parallel evaluation with a persistent cross-run cache:
+
+    automc = AutoMC.paper_scale(
+        "resnet56", "cifar10", budget_hours=8,
+        parallelism=4, cache_dir="runs/cache",
+    )
+    result = automc.search()  # repeated runs skip already-paid evaluations
+
 Or fully real (tiny models, real training):
 
     automc = AutoMC.with_training(model_factory, train_data, val_data, gamma=0.2)
@@ -21,7 +29,10 @@ from ..data.tasks import EXP1, EXP2, CompressionTask
 from ..knowledge.embedding import EmbeddingConfig, StrategyEmbeddings, learn_embeddings
 from ..nn import Module
 from ..space.strategy import StrategySpace
-from .evaluator import SchemeEvaluator, SurrogateEvaluator, TrainingEvaluator
+from .config import EvaluatorConfig
+from .engine import EvaluationEngine
+from .evaluator import SurrogateEvaluator, TrainingEvaluator
+from .interface import Evaluator
 from .progressive import ProgressiveConfig, ProgressiveSearch
 from .search import SearchResult
 
@@ -32,11 +43,19 @@ _PAPER_TASKS = {
 
 
 class AutoMC:
-    """Automatic model compression with domain knowledge + progressive search."""
+    """Automatic model compression with domain knowledge + progressive search.
+
+    ``parallelism`` and ``cache_dir`` wrap the evaluator in an
+    :class:`~repro.core.engine.EvaluationEngine`: candidate batches fan out
+    across ``parallelism`` worker processes (0 = serial, with identical
+    results), and evaluations persist under ``cache_dir`` so repeated runs
+    with the same model/dataset/seed/config skip already-paid simulated
+    GPU-hours.
+    """
 
     def __init__(
         self,
-        evaluator: SchemeEvaluator,
+        evaluator: Evaluator,
         space: Optional[StrategySpace] = None,
         embeddings: Optional[StrategyEmbeddings] = None,
         gamma: float = 0.3,
@@ -45,7 +64,13 @@ class AutoMC:
         embedding_config: Optional[EmbeddingConfig] = None,
         progressive_config: Optional[ProgressiveConfig] = None,
         seed: int = 0,
+        parallelism: int = 0,
+        cache_dir: Optional[str] = None,
     ):
+        if parallelism > 0 or cache_dir is not None:
+            evaluator = EvaluationEngine(
+                evaluator, workers=parallelism, cache_dir=cache_dir
+            )
         self.evaluator = evaluator
         self.space = space or StrategySpace()
         self.gamma = gamma
@@ -86,7 +111,7 @@ class AutoMC:
             model_name,
             dataset_name,
             task,
-            seed=seed,
+            config=EvaluatorConfig(seed=seed),
         )
         return cls(evaluator, gamma=gamma, budget_hours=budget_hours, seed=seed, **kwargs)
 
@@ -102,13 +127,17 @@ class AutoMC:
         seed: int = 0,
         **kwargs,
     ) -> "AutoMC":
-        """Fully real backend: tiny models, real gradient training."""
+        """Fully real backend: tiny models, real gradient training.
+
+        Pass a registry model *name* (e.g. ``"resnet8"``) as ``model_factory``
+        to make the evaluator rebuildable in worker processes — required for
+        ``parallelism > 0``.
+        """
         evaluator = TrainingEvaluator(
             model_factory,
             train_data,
             val_data,
-            pretrain_epochs=pretrain_epochs,
-            seed=seed,
+            config=EvaluatorConfig(pretrain_epochs=pretrain_epochs, seed=seed),
         )
         return cls(evaluator, gamma=gamma, budget_hours=budget_hours, seed=seed, **kwargs)
 
@@ -128,4 +157,12 @@ class AutoMC:
             experience=default_experience(),
             seed=self.seed,
         )
-        return searcher.run()
+        try:
+            return searcher.run()
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        """Release engine worker processes, if any (idempotent)."""
+        if isinstance(self.evaluator, EvaluationEngine):
+            self.evaluator.close()

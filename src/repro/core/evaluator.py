@@ -1,6 +1,7 @@
 """Scheme evaluators — the bridge between search and compression execution.
 
-Two backends share one interface:
+Two backends share one interface (the :class:`~repro.core.interface.Evaluator`
+protocol):
 
 * :class:`TrainingEvaluator` — everything real: a model is pre-trained on a
   (tiny) dataset, strategies execute with gradient training, accuracy is
@@ -15,14 +16,25 @@ snapshots so progressive search can extend an evaluated scheme without
 re-running its prefix.  Every evaluation also charges a *simulated GPU-hour*
 cost — the common currency that gives all AutoML baselines equal budgets
 (§4.1 "control the running time of each algorithm to be the same").
+
+Cost accounting is *canonical*: every result carries the full per-step cost
+vector of its scheme (independent of which prefix happened to be resumed
+from the model LRU), and the charged cost is the increment over the longest
+prefix already present in ``results``.  This makes charged costs a pure
+function of the evaluation history — the property the batched
+:class:`~repro.core.engine.EvaluationEngine` relies on to merge parallel
+worker results bit-identically to a serial run.
 """
 
 from __future__ import annotations
 
 import copy
+import hashlib
+import json
+import zlib
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,11 +45,23 @@ from ..data.tasks import CompressionTask
 from ..nn import Module, Trainer, evaluate_accuracy, profile_model
 from ..sim.accuracy import AccuracyModel
 from ..space.scheme import CompressionScheme
+from .config import EvaluatorConfig, coerce_config
 
 #: simulated GPU-hours per (epoch x GFLOP x full-dataset) of training
 EPOCH_COST_HOURS = 0.01
 #: fixed simulated cost of evaluating any scheme (accuracy measurement etc.)
 EVAL_OVERHEAD_HOURS = 0.05
+
+
+def stable_hash(text: str) -> int:
+    """Process-stable 32-bit digest of ``text`` (replaces builtin ``hash``).
+
+    Builtin ``hash(str)`` is salted per process via ``PYTHONHASHSEED``, so
+    seeding step RNGs with it made results differ between runs and between
+    the engine's worker processes.  CRC32 is cheap, deterministic everywhere
+    and plenty for seed derivation.
+    """
+    return zlib.crc32(text.encode("utf-8"))
 
 
 @dataclass
@@ -53,6 +77,10 @@ class EvaluationResult:
     base_accuracy: float
     cost: float  # simulated GPU-hours charged for this evaluation
     step_reports: List[StepReport] = field(default_factory=list)
+    #: canonical per-step simulated cost of the *whole* scheme (one entry per
+    #: strategy, independent of prefix reuse) — the basis of deterministic
+    #: incremental charging and of the persistent cache
+    step_costs: List[float] = field(default_factory=list)
 
     @property
     def pr(self) -> float:
@@ -88,23 +116,30 @@ class EvaluationResult:
 class SchemeEvaluator:
     """Shared caching / cost-accounting base for both backends."""
 
+    _BACKEND = "base"
+
     def __init__(
         self,
         task: CompressionTask,
-        model_cache_size: int = 16,
-        seed: int = 0,
-        lint_schemes: bool = True,
+        config: Optional[EvaluatorConfig] = None,
+        **legacy,
     ):
+        if config is None or legacy:
+            config = coerce_config(self._BACKEND, config, legacy)
+        if task is not None and config.task is None:
+            config = replace(config, task=task)
+        self.config = config
         self.task = task
-        self.seed = seed
+        self.seed = config.seed
         self.results: Dict[str, EvaluationResult] = {}
         self.total_cost = 0.0
         self.evaluation_count = 0
-        self.lint_schemes = lint_schemes
+        self.lint_schemes = config.lint_schemes
         self.rejected_count = 0
         self.rejected: Dict[str, Report] = {}
         self._model_cache: "OrderedDict[str, Tuple[Module, float]]" = OrderedDict()
-        self._model_cache_size = model_cache_size
+        self._model_cache_size = config.model_cache_size
+        self._fingerprint: Optional[str] = None
 
     # -- model snapshot LRU ------------------------------------------------
     def _cache_model(self, key: str, model: Module, accuracy: float) -> None:
@@ -120,7 +155,38 @@ class SchemeEvaluator:
                 return length
         return 0
 
+    def _longest_paid_prefix(self, scheme: CompressionScheme) -> int:
+        """Longest proper prefix whose evaluation is already in ``results``."""
+        for length in range(scheme.length - 1, 0, -1):
+            if scheme.prefix(length).identifier in self.results:
+                return length
+        return 0
+
+    def _charge(self, scheme: CompressionScheme, step_costs: Sequence[float]) -> float:
+        """Canonical charged cost: overhead + steps beyond the paid prefix."""
+        cost = EVAL_OVERHEAD_HOURS
+        for step_cost in step_costs[self._longest_paid_prefix(scheme):]:
+            cost += step_cost
+        return cost
+
     # -- public API ----------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable digest of model/dataset/seed/config identity.
+
+        Includes the measured base profile (params/FLOPs/accuracy), so two
+        evaluators only share a fingerprint when their models really are the
+        same — even if they were built from opaque factory callables.
+        """
+        if self._fingerprint is None:
+            payload = dict(self.config.fingerprint_payload())
+            payload["class"] = type(self).__name__
+            payload["base_params"] = int(getattr(self, "base_params", 0))
+            payload["base_flops"] = int(getattr(self, "base_flops", 0))
+            payload["base_accuracy"] = repr(getattr(self, "base_accuracy", 0.0))
+            blob = json.dumps(payload, sort_keys=True, default=repr)
+            self._fingerprint = hashlib.sha256(blob.encode("utf-8")).hexdigest()
+        return self._fingerprint
+
     def lint(self, scheme: CompressionScheme) -> Report:
         """Lint ``scheme``; record and raise :class:`SchemeRejected` on errors.
 
@@ -140,13 +206,40 @@ class SchemeEvaluator:
         Raises :class:`~repro.analysis.linter.SchemeRejected` when linting is
         enabled and the scheme has an error-severity finding.
         """
-        key = scheme.identifier
-        if key in self.results:
-            return self.results[key]
+        if scheme.identifier in self.results:
+            return self.results[scheme.identifier]
         if self.lint_schemes and not scheme.is_empty:
             self.lint(scheme)
+        return self._evaluate_recorded(scheme)
+
+    def evaluate_many(
+        self, schemes: Sequence[CompressionScheme]
+    ) -> List[EvaluationResult]:
+        """Lint then evaluate a batch of schemes.
+
+        The contract (shared with the parallel engine): deduplicate by
+        identifier, lint every *new* scheme up front — the first error aborts
+        the batch before any simulated hours are charged — then evaluate in
+        input order.  The returned list aligns with the input; duplicates map
+        to the same result object.
+        """
+        schemes = list(schemes)
+        unique: Dict[str, CompressionScheme] = {}
+        for scheme in schemes:
+            unique.setdefault(scheme.identifier, scheme)
+        if self.lint_schemes:
+            for scheme in unique.values():
+                if not scheme.is_empty and scheme.identifier not in self.results:
+                    self.lint(scheme)
+        for scheme in unique.values():
+            if scheme.identifier not in self.results:
+                self._evaluate_recorded(scheme)
+        return [self.results[scheme.identifier] for scheme in schemes]
+
+    def _evaluate_recorded(self, scheme: CompressionScheme) -> EvaluationResult:
+        """Run ``_evaluate`` and fold the result into the bookkeeping."""
         result = self._evaluate(scheme)
-        self.results[key] = result
+        self.results[scheme.identifier] = result
         self.total_cost += result.cost
         self.evaluation_count += 1
         return result
@@ -178,26 +271,37 @@ def _step_cost(report: StepReport, flops_g: float, data_fraction: float) -> floa
 class TrainingEvaluator(SchemeEvaluator):
     """Fully real backend: tiny models, real gradients, measured accuracy."""
 
+    _BACKEND = "training"
+
     def __init__(
         self,
         model_factory: Callable[[], Module],
         train_data,
         val_data,
-        pretrain_epochs: float = 2.0,
+        config: Optional[EvaluatorConfig] = None,
         trainer: Optional[Trainer] = None,
         task: Optional[CompressionTask] = None,
-        seed: int = 0,
-        lint_schemes: bool = True,
+        **legacy,
     ):
+        config = coerce_config(self._BACKEND, config, legacy)
+        config = replace(config, backend="training", train_data=train_data, val_data=val_data)
+        if isinstance(model_factory, str):
+            from ..models import create_model
+
+            name, classes = model_factory, train_data.num_classes
+            config = replace(config, model_name=name)
+            model_factory = lambda: create_model(name, num_classes=classes)
         self.model_factory = model_factory
         self.train_data = train_data
         self.val_data = val_data
-        self.pretrain_epochs = pretrain_epochs
-        self.trainer = trainer or Trainer(lr=0.05, batch_size=32, seed=seed)
+        self.pretrain_epochs = config.pretrain_epochs
+        self.trainer = trainer or Trainer(
+            lr=config.trainer_lr, batch_size=config.trainer_batch_size, seed=config.seed
+        )
         self._input_shape = (train_data.channels, train_data.image_size, train_data.image_size)
 
         base_model = model_factory()
-        self.trainer.fit(base_model, train_data, pretrain_epochs)
+        self.trainer.fit(base_model, train_data, config.pretrain_epochs)
         self._base_model = base_model
         base_profile = profile_model(base_model, self._input_shape)
         self.base_params = base_profile.params
@@ -208,18 +312,20 @@ class TrainingEvaluator(SchemeEvaluator):
             from ..data.tasks import task_from_dataset
 
             task = task_from_dataset(train_data, base_model, "custom", self.base_accuracy)
-        super().__init__(task, seed=seed, lint_schemes=lint_schemes)
+        super().__init__(task, config=replace(config, task=task))
 
     def _evaluate(self, scheme: CompressionScheme) -> EvaluationResult:
         prefix_len = self._longest_cached_prefix(scheme)
         if prefix_len:
             model, _ = self._model_cache[scheme.prefix(prefix_len).identifier]
             model = copy.deepcopy(model)
+            prior = self.results[scheme.prefix(prefix_len).identifier]
+            reports = list(prior.step_reports)
+            step_costs = list(prior.step_costs)
         else:
             model = copy.deepcopy(self._base_model)
+            reports, step_costs = [], []
 
-        cost = EVAL_OVERHEAD_HOURS
-        reports: List[StepReport] = []
         for position in range(prefix_len, scheme.length):
             strategy = scheme.strategies[position]
             ctx = ExecutionContext(
@@ -229,12 +335,12 @@ class TrainingEvaluator(SchemeEvaluator):
                 val_dataset=self.val_data,
                 trainer=self.trainer,
                 train_enabled=True,
-                seed=self.seed + hash(scheme.prefix(position + 1).identifier) % 10_000,
+                seed=self.seed + stable_hash(scheme.prefix(position + 1).identifier) % 10_000,
             )
             report = strategy.method.apply(model, strategy.hp, ctx)
             reports.append(report)
             profile = profile_model(model, self._input_shape)
-            cost += _step_cost(report, profile.flops / 1e9, 1.0)
+            step_costs.append(_step_cost(report, profile.flops / 1e9, 1.0))
 
         profile = profile_model(model, self._input_shape)
         accuracy = evaluate_accuracy(model, self.val_data)
@@ -248,13 +354,16 @@ class TrainingEvaluator(SchemeEvaluator):
             base_params=self.base_params,
             base_flops=self.base_flops,
             base_accuracy=self.base_accuracy,
-            cost=cost,
+            cost=self._charge(scheme, step_costs),
             step_reports=reports,
+            step_costs=step_costs,
         )
 
 
 class SurrogateEvaluator(SchemeEvaluator):
     """Paper-scale backend: real surgery + calibrated accuracy surrogate."""
+
+    _BACKEND = "surrogate"
 
     def __init__(
         self,
@@ -262,21 +371,24 @@ class SurrogateEvaluator(SchemeEvaluator):
         model_name: str,
         dataset_name: str,
         task: CompressionTask,
-        pretrain_epochs: float = 100.0,
-        data_fraction: float = 0.1,
-        seed: int = 0,
-        model_cache_size: int = 32,
-        lint_schemes: bool = True,
+        config: Optional[EvaluatorConfig] = None,
+        **legacy,
     ):
-        super().__init__(
-            task, model_cache_size=model_cache_size, seed=seed, lint_schemes=lint_schemes
+        config = coerce_config(self._BACKEND, config, legacy)
+        config = replace(
+            config,
+            backend="surrogate",
+            model_name=config.model_name or model_name,
+            dataset_name=dataset_name,
+            task=task,
         )
+        super().__init__(task, config=config)
         self.model_factory = model_factory
         self.model_name = model_name
         self.dataset_name = dataset_name
-        self.pretrain_epochs = pretrain_epochs
-        self.data_fraction = data_fraction
-        self.accuracy_model = AccuracyModel(model_name, dataset_name, seed=seed)
+        self.pretrain_epochs = config.pretrain_epochs
+        self.data_fraction = config.data_fraction
+        self.accuracy_model = AccuracyModel(model_name, dataset_name, seed=config.seed)
 
         self._base_model = model_factory()
         self._input_shape = (task.channels, task.image_size, task.image_size)
@@ -290,12 +402,14 @@ class SurrogateEvaluator(SchemeEvaluator):
         if prefix_len:
             model, accuracy_pct = self._model_cache[scheme.prefix(prefix_len).identifier]
             model = copy.deepcopy(model)
+            prior = self.results[scheme.prefix(prefix_len).identifier]
+            reports = list(prior.step_reports)
+            step_costs = list(prior.step_costs)
         else:
             model = copy.deepcopy(self._base_model)
             accuracy_pct = self.accuracy_model.baseline
+            reports, step_costs = [], []
 
-        cost = EVAL_OVERHEAD_HOURS
-        reports: List[StepReport] = []
         for position in range(prefix_len, scheme.length):
             strategy = scheme.strategies[position]
             sub_scheme = scheme.prefix(position + 1)
@@ -303,7 +417,7 @@ class SurrogateEvaluator(SchemeEvaluator):
                 original_params=self.base_params,
                 pretrain_epochs=self.pretrain_epochs,
                 train_enabled=False,
-                seed=self.seed + hash(sub_scheme.identifier) % 100_000,
+                seed=self.seed + stable_hash(sub_scheme.identifier) % 100_000,
             )
             params_before = model.num_parameters()
             report = strategy.method.apply(model, strategy.hp, ctx)
@@ -314,7 +428,7 @@ class SurrogateEvaluator(SchemeEvaluator):
             pr_after = (self.base_params - params_after) / self.base_params
             ft_norm = float(strategy.hp.get("HP1", strategy.hp.get("HP9", 0.0)))
             step_rng = np.random.default_rng(
-                (self.seed * 1_000_003 + hash(sub_scheme.identifier)) % (2 ** 63)
+                (self.seed * 1_000_003 + stable_hash(sub_scheme.identifier)) % (2 ** 63)
             )
             accuracy_pct, _ = self.accuracy_model.step(
                 accuracy_pct,
@@ -331,7 +445,7 @@ class SurrogateEvaluator(SchemeEvaluator):
             # Cost proxy: training FLOPs scale roughly with the remaining
             # parameter fraction (avoids a full profiling forward per step).
             flops_g = (self.base_flops / 1e9) * (params_after / self.base_params)
-            cost += _step_cost(report, flops_g, self.data_fraction)
+            step_costs.append(_step_cost(report, flops_g, self.data_fraction))
 
         profile = profile_model(model, self._input_shape)
         if not scheme.is_empty:
@@ -344,6 +458,7 @@ class SurrogateEvaluator(SchemeEvaluator):
             base_params=self.base_params,
             base_flops=self.base_flops,
             base_accuracy=self.base_accuracy,
-            cost=cost,
+            cost=self._charge(scheme, step_costs),
             step_reports=reports,
+            step_costs=step_costs,
         )

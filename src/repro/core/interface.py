@@ -1,0 +1,49 @@
+"""The evaluator contract search code programs against.
+
+Search strategies, the human-baseline grids and the batched
+:class:`~repro.core.engine.EvaluationEngine` all depend on this *interface*,
+not on :class:`~repro.core.evaluator.SchemeEvaluator` — anything that can
+evaluate schemes, report accumulated results/cost and identify its own
+configuration by fingerprint is a valid evaluation backend.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Protocol, Sequence, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..space.scheme import CompressionScheme
+    from .evaluator import EvaluationResult
+
+
+@runtime_checkable
+class Evaluator(Protocol):
+    """Structural contract of an evaluation backend.
+
+    ``results`` maps scheme identifier to its evaluation outcome in insertion
+    (evaluation) order; ``total_cost`` is the simulated GPU-hours charged so
+    far.  ``evaluate_many`` must lint every new scheme *before* evaluating
+    any of them and return results aligned with the input order (duplicates
+    map to the same result).  ``fingerprint`` is a stable digest of
+    everything that determines measured values (model, dataset, seed,
+    config) — two evaluators with equal fingerprints are interchangeable,
+    which is what keys the persistent result cache.
+    """
+
+    results: Dict[str, "EvaluationResult"]
+    total_cost: float
+    evaluation_count: int
+
+    def evaluate(self, scheme: "CompressionScheme") -> "EvaluationResult":
+        """Evaluate one scheme (cached by identifier)."""
+        ...
+
+    def evaluate_many(
+        self, schemes: Sequence["CompressionScheme"]
+    ) -> List["EvaluationResult"]:
+        """Lint then evaluate a batch; results align with the input order."""
+        ...
+
+    def fingerprint(self) -> str:
+        """Stable digest of model/dataset/seed/config identity."""
+        ...

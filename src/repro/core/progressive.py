@@ -24,8 +24,9 @@ import numpy as np
 from ..knowledge.embedding import StrategyEmbeddings
 from ..space.scheme import CompressionScheme
 from ..space.strategy import StrategySpace
-from .evaluator import EvaluationResult, SchemeEvaluator
+from .evaluator import EvaluationResult
 from .fmo import Fmo
+from .interface import Evaluator
 from .pareto import pareto_indices, select_diverse
 from .search import SearchResult, SearchStrategy
 
@@ -54,7 +55,7 @@ class ProgressiveSearch(SearchStrategy):
 
     def __init__(
         self,
-        evaluator: SchemeEvaluator,
+        evaluator: Evaluator,
         space: StrategySpace,
         embeddings: StrategyEmbeddings,
         gamma: float = 0.3,
@@ -215,12 +216,14 @@ class ProgressiveSearch(SearchStrategy):
             selected = self._select_pareto_options(options)
             if not selected:
                 break
-            for parent, candidate_index in selected:
-                if self.budget_left() <= 0:
-                    break
-                strategy = self.space[candidate_index]
-                child_scheme = parent.scheme.extend(strategy)
-                child = self.evaluator.evaluate(child_scheme)
+            # The round's candidate set is submitted as one batch — with an
+            # EvaluationEngine this is what fans out across workers.  The
+            # selection above consumed only self.rng, never the results, so
+            # batched evaluation replays the serial trajectory exactly.
+            children = self.evaluator.evaluate_many(
+                [parent.scheme.extend(self.space[c]) for parent, c in selected]
+            )
+            for (parent, candidate_index), child in zip(selected, children):
                 self._ensure_tracked(child)
                 # Mark s as explored under seq (Algorithm 2, line 9).
                 self._unexplored[parent.scheme.identifier][candidate_index] = False

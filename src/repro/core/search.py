@@ -1,7 +1,8 @@
 """Shared search-strategy infrastructure: results, trajectories, base class.
 
 Every search algorithm (AutoMC's progressive search and the RL / EA / Random
-baselines) consumes a :class:`~repro.core.evaluator.SchemeEvaluator` and a
+baselines) consumes an :class:`~repro.core.interface.Evaluator` (a bare
+backend or a batched :class:`~repro.core.engine.EvaluationEngine`) and a
 :class:`~repro.space.strategy.StrategySpace`, runs until its simulated
 GPU-hour budget is exhausted, and produces a :class:`SearchResult` with the
 Pareto-optimal schemes and a trajectory for the Figure 4/5 plots.
@@ -9,15 +10,17 @@ Pareto-optimal schemes and a trajectory for the Figure 4/5 plots.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from itertools import islice
 from typing import List, Optional
 
 import numpy as np
 
 from ..space.scheme import CompressionScheme
 from ..space.strategy import StrategySpace
-from .evaluator import EvaluationResult, SchemeEvaluator
-from .pareto import hypervolume_2d, pareto_mask
+from .evaluator import EvaluationResult
+from .interface import Evaluator
+from .pareto import hypervolume_2d
 
 
 @dataclass
@@ -43,7 +46,10 @@ class SearchResult:
     total_cost: float
     evaluations: int
     gamma: float
-    all_results: List[EvaluationResult] = None  # every evaluated scheme
+    all_results: List[EvaluationResult] = field(default_factory=list)
+    #: populated by harnesses running behind an EvaluationEngine
+    #: (cache_hits / fresh_evaluations / workers)
+    engine_stats: Optional[dict] = None
 
     @property
     def best(self) -> Optional[EvaluationResult]:
@@ -67,7 +73,7 @@ class SearchStrategy:
 
     def __init__(
         self,
-        evaluator: SchemeEvaluator,
+        evaluator: Evaluator,
         space: StrategySpace,
         gamma: float = 0.3,
         budget_hours: float = 24.0,
@@ -82,37 +88,70 @@ class SearchStrategy:
         self.seed = seed
         self.rng = np.random.default_rng(seed)
         self.trajectory: List[TrajectoryPoint] = []
+        # incremental record() bookkeeping: results consumed so far, the
+        # running Pareto front and the running best feasible result
+        self._consumed = 0
+        self._front: List[EvaluationResult] = []
+        self._best_feasible: Optional[EvaluationResult] = None
 
     # ------------------------------------------------------------------ #
     def budget_left(self) -> float:
         return self.budget_hours - self.evaluator.total_cost
 
-    def record(self) -> TrajectoryPoint:
-        """Append a trajectory snapshot from the evaluator's history."""
-        feasible = [
-            r
-            for r in self.evaluator.results.values()
-            if not r.scheme.is_empty and r.meets_target(self.gamma)
+    def _absorb(self, result: EvaluationResult) -> None:
+        """Fold one new result into the incremental front / best-feasible."""
+        if result.scheme.is_empty:
+            return
+        if result.meets_target(self.gamma) and (
+            self._best_feasible is None
+            or result.accuracy > self._best_feasible.accuracy
+        ):
+            self._best_feasible = result
+        point = result.objectives
+        for kept in self._front:
+            other = kept.objectives
+            # strict domination, same semantics as pareto.pareto_mask:
+            # equal objective vectors both survive
+            if np.all(other >= point) and np.any(other > point):
+                return
+        self._front = [
+            kept
+            for kept in self._front
+            if not (np.all(point >= kept.objectives) and np.any(point > kept.objectives))
         ]
-        everything = [r for r in self.evaluator.results.values() if not r.scheme.is_empty]
-        if feasible:
-            best = max(feasible, key=lambda r: r.accuracy)
-            best_accuracy, best_ar = best.accuracy, best.ar
+        self._front.append(result)
+
+    def record(self) -> TrajectoryPoint:
+        """Append a trajectory snapshot from the evaluator's history.
+
+        Incremental: only results added to the evaluator since the previous
+        snapshot are scanned, and the Pareto front / hypervolume / best
+        feasible scheme are maintained as running state — ``record()`` cost
+        no longer grows with the full evaluation history.  (Dominated points
+        contribute nothing to the hypervolume, so front-only HV equals
+        full-history HV.)
+        """
+        new = list(islice(self.evaluator.results.values(), self._consumed, None))
+        self._consumed += len(new)
+        for result in new:
+            self._absorb(result)
+        if self._best_feasible is not None:
+            best_accuracy = self._best_feasible.accuracy
+            best_ar = self._best_feasible.ar
         else:
             best_accuracy, best_ar = 0.0, -1.0
-        if everything:
-            points = np.stack([r.objectives for r in everything])
+        if self._front:
+            points = np.stack([r.objectives for r in self._front])
             hv = hypervolume_2d(points, (-1.0, 0.0))
-            front = int(pareto_mask(points).sum())
         else:
-            hv, front = 0.0, 0
+            hv = 0.0
         point = TrajectoryPoint(
             cost=self.evaluator.total_cost,
             evaluations=self.evaluator.evaluation_count,
             best_accuracy=best_accuracy,
             best_ar=best_ar,
             hypervolume=hv,
-            front_size=front,
+            front_size=len(self._front),
         )
         self.trajectory.append(point)
         return point

@@ -12,6 +12,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..baselines import EvolutionSearch, RLSearch, RandomSearch
+from ..core.config import EvaluatorConfig
+from ..core.engine import EvaluationEngine
 from ..core.evaluator import EvaluationResult, SurrogateEvaluator
 from ..core.progressive import ProgressiveConfig, ProgressiveSearch
 from ..core.search import SearchResult
@@ -34,6 +36,8 @@ class ExperimentConfig:
     evals_per_round: int = 8
     candidate_subsample: int = 4230   # score the full strategy space
     seed: int = 0
+    workers: int = 0                  # evaluation worker processes (0 = serial)
+    cache_dir: Optional[str] = None   # persistent cross-run result cache
 
     def embedding_config(self) -> EmbeddingConfig:
         return EmbeddingConfig(
@@ -73,7 +77,7 @@ def make_evaluator(
         model_name,
         dataset_name,
         task,
-        seed=seed,
+        config=EvaluatorConfig(seed=seed),
     )
 
 
@@ -91,9 +95,18 @@ def run_algorithm(
     embeddings: Optional[StrategyEmbeddings] = None,
     space: Optional[StrategySpace] = None,
 ) -> SearchResult:
-    """Run one AutoML algorithm on Exp1/Exp2 under the shared budget."""
+    """Run one AutoML algorithm on Exp1/Exp2 under the shared budget.
+
+    With ``config.workers`` / ``config.cache_dir`` set, the evaluator is
+    wrapped in an :class:`EvaluationEngine` — candidate batches fan out
+    across worker processes and/or persist to the cross-run disk cache.
+    """
     model_name, dataset_name, task = EXPERIMENTS[exp_name]
     evaluator = make_evaluator(model_name, dataset_name, task, seed=config.seed)
+    if config.workers > 0 or config.cache_dir is not None:
+        evaluator = EvaluationEngine(
+            evaluator, workers=config.workers, cache_dir=config.cache_dir
+        )
     space = space or StrategySpace()
     common = dict(
         gamma=0.3, budget_hours=config.budget_hours, max_length=5, seed=config.seed
@@ -116,7 +129,18 @@ def run_algorithm(
         searcher = RandomSearch(evaluator, space, **common)
     else:
         raise KeyError(f"unknown algorithm {name!r}")
-    return searcher.run()
+    try:
+        result = searcher.run()
+        if isinstance(evaluator, EvaluationEngine):
+            result.engine_stats = {
+                "workers": evaluator.workers,
+                "cache_hits": evaluator.cache_hits,
+                "fresh_evaluations": evaluator.fresh_evaluations,
+            }
+        return result
+    finally:
+        if isinstance(evaluator, EvaluationEngine):
+            evaluator.close()
 
 
 def pick_block(
