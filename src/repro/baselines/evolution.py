@@ -78,29 +78,38 @@ class EvolutionSearch(SearchStrategy):
             self.evaluator.evaluate_many(population)
         self.record()
 
+        generation = 0
         while self.budget_left() > 0 and population:
-            results = self.evaluator.evaluate_many(population)  # cache hits
-            points = np.stack([r.objectives for r in results])
+            with self.tracer.span(
+                "search.round",
+                algorithm=self.name,
+                round=generation,
+                population=len(population),
+            ) as round_span:
+                results = self.evaluator.evaluate_many(population)  # cache hits
+                points = np.stack([r.objectives for r in results])
 
-            offspring: List[CompressionScheme] = []
-            for _ in range(self.offspring_per_generation):
-                i, j = self.rng.integers(0, len(population), size=2)
-                # Binary tournament on domination rank then crowding.
-                parent = population[int(i)] if self._beats(points, int(i), int(j)) else population[int(j)]
-                if self.rng.random() < 0.3 and len(population) >= 2:
-                    other = population[int(self.rng.integers(len(population)))]
-                    child = self._crossover(parent, other)
-                else:
-                    child = self._mutate(parent)
-                offspring.append(child)
-            if offspring:
-                self.evaluator.evaluate_many(offspring)
+                offspring: List[CompressionScheme] = []
+                for _ in range(self.offspring_per_generation):
+                    i, j = self.rng.integers(0, len(population), size=2)
+                    # Binary tournament on domination rank then crowding.
+                    parent = population[int(i)] if self._beats(points, int(i), int(j)) else population[int(j)]
+                    if self.rng.random() < 0.3 and len(population) >= 2:
+                        other = population[int(self.rng.integers(len(population)))]
+                        child = self._crossover(parent, other)
+                    else:
+                        child = self._mutate(parent)
+                    offspring.append(child)
+                if offspring:
+                    self.evaluator.evaluate_many(offspring)
 
-            merged = population + offspring
-            merged_results = self.evaluator.evaluate_many(merged)
-            merged_points = np.stack([r.objectives for r in merged_results])
-            population = self._environmental_selection(merged, merged_points)
-            self.record()
+                merged = population + offspring
+                merged_results = self.evaluator.evaluate_many(merged)
+                merged_points = np.stack([r.objectives for r in merged_results])
+                population = self._environmental_selection(merged, merged_points)
+                round_span.set(offspring=len(offspring), survivors=len(population))
+                self.record()
+            generation += 1
 
         return self.finish()
 

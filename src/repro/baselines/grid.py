@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..core.evaluator import EvaluationResult
 from ..core.interface import Evaluator
+from ..obs import NULL_TRACER
 from ..space.hyperparams import HP_GRID, METHOD_HPS
 from ..space.scheme import CompressionScheme
 from ..space.strategy import make_strategy
@@ -65,9 +66,17 @@ def run_human_method(
         raise RuntimeError(f"grid search produced no evaluations for {method_label}")
 
     best: Optional[EvaluationResult] = None
-    for result in evaluator.evaluate_many(schemes):
-        if best is None or result.accuracy > best.accuracy:
-            best = result
+    tracer = getattr(evaluator, "tracer", NULL_TRACER)
+    with tracer.span(
+        "search.round",
+        algorithm="Grid",
+        method=method_label,
+        target_pr=target_pr,
+        batch=len(schemes),
+    ):
+        for result in evaluator.evaluate_many(schemes):
+            if best is None or result.accuracy > best.accuracy:
+                best = result
     count = len(schemes)
     return GridSearchOutcome(
         method_label=method_label,

@@ -16,6 +16,7 @@ class RandomSearch(SearchStrategy):
 
     def run(self) -> SearchResult:
         self.record()
+        round_index = 0
         while self.budget_left() > 0:
             # One batch per trajectory snapshot: generation consumes only
             # self.rng, so batching through evaluate_many (and any engine
@@ -29,7 +30,11 @@ class RandomSearch(SearchStrategy):
                     batch.append(scheme)
             if not batch:
                 break
-            self.evaluator.evaluate_many(batch)
-            self.record()
+            with self.tracer.span(
+                "search.round", algorithm=self.name, round=round_index, batch=len(batch)
+            ):
+                self.evaluator.evaluate_many(batch)
+                self.record()
+            round_index += 1
         self.record()
         return self.finish()

@@ -114,6 +114,7 @@ class RLSearch(SearchStrategy):
     # ------------------------------------------------------------------ #
     def run(self) -> SearchResult:
         self.record()
+        round_index = 0
         while self.budget_left() > 0:
             # Sample the whole controller batch first (the controller is
             # only updated after the batch, so sampling is independent of
@@ -127,28 +128,45 @@ class RLSearch(SearchStrategy):
                 sampled.append((scheme, log_probs))
             if not sampled:
                 break
-            results = self.evaluator.evaluate_many([s for s, _ in sampled])
-            batch: List[Tuple[List[Tensor], float]] = [
-                (log_probs, self._reward(result))
-                for (_, log_probs), result in zip(sampled, results)
-            ]
-            rewards = np.array([r for _, r in batch])
-            if not self._baseline_initialised:
-                self._baseline = float(rewards.mean())
-                self._baseline_initialised = True
-            # REINFORCE with moving-average baseline.
-            loss = None
-            for log_probs, reward in batch:
-                advantage = reward - self._baseline
-                total_logp = log_probs[0]
-                for lp in log_probs[1:]:
-                    total_logp = total_logp + lp
-                term = total_logp * (-advantage)
-                loss = term if loss is None else loss + term
-            loss = loss * (1.0 / len(batch))
-            self.optimizer.zero_grad()
-            loss.backward()
-            self.optimizer.step()
-            self._baseline = 0.9 * self._baseline + 0.1 * float(rewards.mean())
-            self.record()
+            round_span = (
+                self.tracer.start(
+                    "search.round",
+                    algorithm=self.name,
+                    round=round_index,
+                    batch=len(sampled),
+                )
+                if self.tracer.enabled
+                else None
+            )
+            try:
+                results = self.evaluator.evaluate_many([s for s, _ in sampled])
+                batch: List[Tuple[List[Tensor], float]] = [
+                    (log_probs, self._reward(result))
+                    for (_, log_probs), result in zip(sampled, results)
+                ]
+                rewards = np.array([r for _, r in batch])
+                if not self._baseline_initialised:
+                    self._baseline = float(rewards.mean())
+                    self._baseline_initialised = True
+                # REINFORCE with moving-average baseline.
+                loss = None
+                for log_probs, reward in batch:
+                    advantage = reward - self._baseline
+                    total_logp = log_probs[0]
+                    for lp in log_probs[1:]:
+                        total_logp = total_logp + lp
+                    term = total_logp * (-advantage)
+                    loss = term if loss is None else loss + term
+                loss = loss * (1.0 / len(batch))
+                self.optimizer.zero_grad()
+                loss.backward()
+                self.optimizer.step()
+                self._baseline = 0.9 * self._baseline + 0.1 * float(rewards.mean())
+                self.record()
+                if round_span is not None:
+                    round_span.set(mean_reward=float(rewards.mean()))
+            finally:
+                if round_span is not None:
+                    self.tracer.finish(round_span)
+            round_index += 1
         return self.finish()

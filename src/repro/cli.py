@@ -7,6 +7,7 @@ table2/3     regenerate the paper's tables
 figure4/5/6  regenerate the paper's figures
 inspect      print the search-space / knowledge-graph inventory
 analyze      statically verify models / checkpoints / schemes
+trace        summarize a JSONL run journal (see ``search --journal``)
 """
 
 from __future__ import annotations
@@ -30,6 +31,7 @@ def _config(args) -> "ExperimentConfig":
         seed=args.seed,
         workers=getattr(args, "workers", 0),
         cache_dir=getattr(args, "cache_dir", None),
+        journal=getattr(args, "journal", None),
     )
 
 
@@ -50,6 +52,27 @@ def cmd_search(args) -> int:
     print(f"Pareto schemes with PR >= {result.gamma:.0%}:")
     for r in sorted(result.pareto, key=lambda r: r.pr):
         print(f"  {r}")
+    if getattr(args, "journal", None):
+        print()
+        print(f"run journal written to {args.journal} "
+              f"(inspect with: repro trace summarize {args.journal})")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    import json
+
+    from .obs import summarize_journal
+
+    try:
+        summary = summarize_journal(args.journal)
+    except FileNotFoundError:
+        print(f"no such journal: {args.journal}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(summary.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(summary.format())
     return 0
 
 
@@ -198,6 +221,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", dest="cache_dir", default=None,
                    help="persistent result cache; repeated runs skip "
                         "already-evaluated schemes")
+    p.add_argument("--journal", default=None,
+                   help="stream spans/events of the run to this JSONL journal "
+                        "(summarize afterwards with 'repro trace summarize')")
     _add_budget_args(p)
     p.set_defaults(func=cmd_search)
 
@@ -249,6 +275,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strict", action="store_true", help="warnings also fail")
     p.add_argument("--verbose", action="store_true", help="also print ok-level notes")
     p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser(
+        "trace",
+        help="post-hoc analysis of a JSONL run journal",
+        description="Summarize a run journal produced by 'repro search --journal' "
+                    "or AutoMC(trace=...): span/event counts, wall-time and "
+                    "simulated-cost attribution, cache-hit/lint-reject breakdown. "
+                    "Works on truncated journals from interrupted runs.",
+    )
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+    p = trace_sub.add_parser("summarize", help="print a journal summary")
+    p.add_argument("journal", help="path to the .jsonl run journal")
+    p.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+    p.set_defaults(func=cmd_trace)
     return parser
 
 

@@ -23,11 +23,12 @@ Or fully real (tiny models, real training):
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
 
 from ..data.tasks import EXP1, EXP2, CompressionTask
 from ..knowledge.embedding import EmbeddingConfig, StrategyEmbeddings, learn_embeddings
 from ..nn import Module
+from ..obs import NULL_TRACER, RunJournal, Tracer, attach_tracer
 from ..space.strategy import StrategySpace
 from .config import EvaluatorConfig
 from .engine import EvaluationEngine
@@ -51,6 +52,13 @@ class AutoMC:
     results), and evaluations persist under ``cache_dir`` so repeated runs
     with the same model/dataset/seed/config skip already-paid simulated
     GPU-hours.
+
+    ``trace`` turns on the :mod:`repro.obs` observability layer: pass
+    ``True`` for an in-memory :class:`~repro.obs.Tracer` (inspect
+    ``automc.tracer.spans`` / ``.metrics`` afterwards), a path to stream a
+    JSONL run journal there (summarise with ``repro trace summarize``), or a
+    ready-made :class:`~repro.obs.Tracer`.  The default traces nothing and
+    costs one attribute check per hot-path operation.
     """
 
     def __init__(
@@ -66,11 +74,22 @@ class AutoMC:
         seed: int = 0,
         parallelism: int = 0,
         cache_dir: Optional[str] = None,
+        trace: Union[None, bool, str, Tracer] = None,
     ):
         if parallelism > 0 or cache_dir is not None:
             evaluator = EvaluationEngine(
                 evaluator, workers=parallelism, cache_dir=cache_dir
             )
+        if trace is None or trace is False:
+            self.tracer = NULL_TRACER
+        elif isinstance(trace, Tracer):
+            self.tracer = trace
+        elif trace is True:
+            self.tracer = Tracer()
+        else:  # a journal path
+            self.tracer = Tracer(journal=RunJournal(trace, run={"api": "AutoMC"}))
+        if self.tracer.enabled:
+            attach_tracer(evaluator, self.tracer)
         self.evaluator = evaluator
         self.space = space or StrategySpace()
         self.gamma = gamma
@@ -163,6 +182,7 @@ class AutoMC:
             self.close()
 
     def close(self) -> None:
-        """Release engine worker processes, if any (idempotent)."""
+        """Release engine workers and flush the trace journal (idempotent)."""
         if isinstance(self.evaluator, EvaluationEngine):
             self.evaluator.close()
+        self.tracer.close()

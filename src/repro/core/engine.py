@@ -33,14 +33,43 @@ import hashlib
 import json
 import os
 import tempfile
+import traceback
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import asdict
+from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from ..compression import StepReport
+from ..obs import NULL_TRACER
 from ..space.scheme import CompressionScheme
 from .evaluator import EVAL_OVERHEAD_HOURS, EvaluationResult
+
+
+class WorkerError(RuntimeError):
+    """A pool worker failed to evaluate a scheme.
+
+    Raised in the parent instead of the worker's bare (often unpicklable)
+    traceback surfacing through ``multiprocessing``.  Carries the scheme
+    identifier so searches and journals can attribute the failure, plus the
+    original exception type/message and the worker-side traceback text.
+    """
+
+    def __init__(
+        self,
+        scheme_id: str,
+        cause_type: str,
+        cause_message: str,
+        worker_traceback: str = "",
+    ):
+        self.scheme_id = scheme_id
+        self.cause_type = cause_type
+        self.cause_message = cause_message
+        self.worker_traceback = worker_traceback
+        message = f"worker evaluation of scheme {scheme_id!r} failed: {cause_type}: {cause_message}"
+        if worker_traceback:
+            message += f"\n--- worker traceback ---\n{worker_traceback}"
+        super().__init__(message)
+
 
 # ---------------------------------------------------------------------------
 # worker process side
@@ -55,11 +84,28 @@ def _init_worker(config) -> None:
     _WORKER_EVALUATOR = config.build()
 
 
-def _worker_evaluate(scheme: CompressionScheme) -> EvaluationResult:
+@dataclass
+class _WorkerFailure:
+    """Picklable capture of a worker-side exception (→ WorkerError in parent)."""
+
+    scheme_id: str
+    cause_type: str
+    cause_message: str
+    worker_traceback: str
+
+
+def _worker_evaluate(scheme: CompressionScheme):
     """Evaluate one scheme in a worker.  The worker keeps its own result /
     model caches across tasks; determinism makes prefix-resume equivalent to
-    full replay, and the parent recomputes charged costs at merge time."""
-    return _WORKER_EVALUATOR.evaluate(scheme)
+    full replay, and the parent recomputes charged costs at merge time.
+    Exceptions are captured as :class:`_WorkerFailure` so the parent can
+    raise a typed :class:`WorkerError` instead of a bare pool traceback."""
+    try:
+        return _WORKER_EVALUATOR.evaluate(scheme)
+    except Exception as exc:
+        return _WorkerFailure(
+            scheme.identifier, type(exc).__name__, str(exc), traceback.format_exc()
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -170,6 +216,9 @@ class EvaluationEngine:
         self.cache = ResultCache(cache_dir, evaluator.fingerprint()) if cache_dir else None
         self.cache_hits = 0
         self.fresh_evaluations = 0
+        self.worker_failures = 0
+        #: shared with the wrapped evaluator via obs.attach_tracer
+        self.tracer = getattr(evaluator, "tracer", NULL_TRACER)
         self._pool: Optional[ProcessPoolExecutor] = None
 
     # -- Evaluator protocol ------------------------------------------------
@@ -208,26 +257,50 @@ class EvaluationEngine:
         for scheme in schemes:
             unique.setdefault(scheme.identifier, scheme)
 
-        evaluator = self.evaluator
-        fresh: List[CompressionScheme] = []
-        for scheme in unique.values():
-            if scheme.identifier in evaluator.results:
-                continue
-            cached = self.cache.get(scheme) if self.cache else None
-            if cached is not None:
-                evaluator.results[scheme.identifier] = cached
-                self.cache_hits += 1
-            else:
-                fresh.append(scheme)
+        tracer = self.tracer
+        batch_span = (
+            tracer.start("engine.batch", submitted=len(schemes), unique=len(unique))
+            if tracer.enabled
+            else None
+        )
+        try:
+            evaluator = self.evaluator
+            fresh: List[CompressionScheme] = []
+            memory_hits = disk_hits = 0
+            for scheme in unique.values():
+                if scheme.identifier in evaluator.results:
+                    memory_hits += 1
+                    if tracer.enabled:
+                        tracer.event("cache_hit", scheme=scheme.identifier, source="memory")
+                        tracer.metrics.counter("cache_hits.memory").inc()
+                    continue
+                cached = self.cache.get(scheme) if self.cache else None
+                if cached is not None:
+                    evaluator.results[scheme.identifier] = cached
+                    self.cache_hits += 1
+                    disk_hits += 1
+                    if tracer.enabled:
+                        tracer.event("cache_hit", scheme=scheme.identifier, source="disk")
+                        tracer.metrics.counter("cache_hits.disk").inc()
+                else:
+                    fresh.append(scheme)
 
-        if evaluator.lint_schemes:
-            for scheme in fresh:
-                if not scheme.is_empty:
-                    evaluator.lint(scheme)
+            if batch_span is not None:
+                batch_span.set(
+                    memory_hits=memory_hits, disk_hits=disk_hits, fresh=len(fresh)
+                )
 
-        if fresh:
-            self._run_fresh(fresh)
-        return [evaluator.results[scheme.identifier] for scheme in schemes]
+            if evaluator.lint_schemes:
+                for scheme in fresh:
+                    if not scheme.is_empty:
+                        evaluator.lint(scheme)
+
+            if fresh:
+                self._run_fresh(fresh)
+            return [evaluator.results[scheme.identifier] for scheme in schemes]
+        finally:
+            if batch_span is not None:
+                tracer.finish(batch_span)
 
     # -- dispatch ----------------------------------------------------------
     def _run_fresh(self, fresh: List[CompressionScheme]) -> None:
@@ -246,12 +319,39 @@ class EvaluationEngine:
         # Merge in input order with the serial charging formula: overhead +
         # the step costs beyond the longest prefix already in `results`.
         # Identical float-addition order to SchemeEvaluator._charge.
+        tracer = self.tracer
         for scheme, result in zip(fresh, raw):
+            if isinstance(result, _WorkerFailure):
+                self.worker_failures += 1
+                if tracer.enabled:
+                    tracer.event(
+                        "worker_failed",
+                        scheme=result.scheme_id,
+                        error=f"{result.cause_type}: {result.cause_message}",
+                    )
+                    tracer.metrics.counter("worker_failures").inc()
+                raise WorkerError(
+                    result.scheme_id,
+                    result.cause_type,
+                    result.cause_message,
+                    result.worker_traceback,
+                )
             paid = evaluator._longest_paid_prefix(scheme)
             cost = EVAL_OVERHEAD_HOURS
             for step_cost in result.step_costs[paid:]:
                 cost += step_cost
             result.cost = cost
+            if tracer.enabled:
+                # The wall-time of the work lives in the enclosing
+                # engine.batch span; this span exists to attribute the
+                # charged cost float exactly once, mirroring the serial path.
+                span = tracer.start(
+                    "evaluate", scheme=scheme.identifier, steps=scheme.length, parallel=True
+                )
+                span.add_cost(cost)
+                span.set(params=result.params, pr=result.pr, accuracy=result.accuracy)
+                tracer.finish(span)
+                tracer.metrics.counter("evaluations.fresh").inc()
             evaluator.results[scheme.identifier] = result
             evaluator.total_cost += cost
             evaluator.evaluation_count += 1

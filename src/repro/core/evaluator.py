@@ -43,6 +43,7 @@ from ..analysis.linter import SchemeRejected, lint_scheme
 from ..compression import ExecutionContext, StepReport
 from ..data.tasks import CompressionTask
 from ..nn import Module, Trainer, evaluate_accuracy, profile_model
+from ..obs import NULL_TRACER
 from ..sim.accuracy import AccuracyModel
 from ..space.scheme import CompressionScheme
 from .config import EvaluatorConfig, coerce_config
@@ -140,6 +141,9 @@ class SchemeEvaluator:
         self._model_cache: "OrderedDict[str, Tuple[Module, float]]" = OrderedDict()
         self._model_cache_size = config.model_cache_size
         self._fingerprint: Optional[str] = None
+        #: observability hook (see repro.obs); NULL_TRACER keeps the
+        #: uninstrumented hot path to a single attribute check
+        self.tracer = NULL_TRACER
 
     # -- model snapshot LRU ------------------------------------------------
     def _cache_model(self, key: str, model: Module, accuracy: float) -> None:
@@ -197,6 +201,13 @@ class SchemeEvaluator:
         if report.has_errors:
             self.rejected_count += 1
             self.rejected[scheme.identifier] = report
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "lint_reject",
+                    scheme=scheme.identifier,
+                    rules=sorted({d.rule for d in report.errors}),
+                )
+                self.tracer.metrics.counter("lint_rejects").inc()
             raise SchemeRejected(scheme, report)
         return report
 
@@ -207,6 +218,9 @@ class SchemeEvaluator:
         enabled and the scheme has an error-severity finding.
         """
         if scheme.identifier in self.results:
+            if self.tracer.enabled:
+                self.tracer.event("cache_hit", scheme=scheme.identifier, source="memory")
+                self.tracer.metrics.counter("cache_hits.memory").inc()
             return self.results[scheme.identifier]
         if self.lint_schemes and not scheme.is_empty:
             self.lint(scheme)
@@ -227,6 +241,11 @@ class SchemeEvaluator:
         unique: Dict[str, CompressionScheme] = {}
         for scheme in schemes:
             unique.setdefault(scheme.identifier, scheme)
+        if self.tracer.enabled:
+            for scheme in unique.values():
+                if scheme.identifier in self.results:
+                    self.tracer.event("cache_hit", scheme=scheme.identifier, source="memory")
+                    self.tracer.metrics.counter("cache_hits.memory").inc()
         if self.lint_schemes:
             for scheme in unique.values():
                 if not scheme.is_empty and scheme.identifier not in self.results:
@@ -238,7 +257,17 @@ class SchemeEvaluator:
 
     def _evaluate_recorded(self, scheme: CompressionScheme) -> EvaluationResult:
         """Run ``_evaluate`` and fold the result into the bookkeeping."""
-        result = self._evaluate(scheme)
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span("evaluate", scheme=scheme.identifier, steps=scheme.length) as span:
+                result = self._evaluate(scheme)
+                # one charged evaluation == one `evaluate` span carrying its
+                # exact cost float (the journal-sum == total_cost invariant)
+                span.add_cost(result.cost)
+                span.set(params=result.params, pr=result.pr, accuracy=result.accuracy)
+            tracer.metrics.counter("evaluations.fresh").inc()
+        else:
+            result = self._evaluate(scheme)
         self.results[scheme.identifier] = result
         self.total_cost += result.cost
         self.evaluation_count += 1

@@ -209,33 +209,46 @@ class ProgressiveSearch(SearchStrategy):
 
         round_index = 0
         while self.budget_left() > 0:
-            h_sub = self._sample_h_sub()
-            if not h_sub:
-                break
-            options = self._score_round(h_sub, round_index)
-            selected = self._select_pareto_options(options)
-            if not selected:
-                break
-            # The round's candidate set is submitted as one batch — with an
-            # EvaluationEngine this is what fans out across workers.  The
-            # selection above consumed only self.rng, never the results, so
-            # batched evaluation replays the serial trajectory exactly.
-            children = self.evaluator.evaluate_many(
-                [parent.scheme.extend(self.space[c]) for parent, c in selected]
+            round_span = (
+                self.tracer.start("search.round", algorithm=self.name, round=round_index)
+                if self.tracer.enabled
+                else None
             )
-            for (parent, candidate_index), child in zip(selected, children):
-                self._ensure_tracked(child)
-                # Mark s as explored under seq (Algorithm 2, line 9).
-                self._unexplored[parent.scheme.identifier][candidate_index] = False
-                # Observed step targets for Eq. 5.
-                ar_step = (child.accuracy - parent.accuracy) / max(parent.accuracy, 1e-9)
-                pr_step = (parent.params - child.params) / max(parent.params, 1)
-                self.fmo.observe(
-                    parent.scheme, self._state_of(parent), candidate_index,
-                    ar_step, pr_step,
+            try:
+                h_sub = self._sample_h_sub()
+                if not h_sub:
+                    break
+                options = self._score_round(h_sub, round_index)
+                selected = self._select_pareto_options(options)
+                if round_span is not None:
+                    round_span.set(
+                        parents=len(h_sub), options=len(options), selected=len(selected)
+                    )
+                if not selected:
+                    break
+                # The round's candidate set is submitted as one batch — with an
+                # EvaluationEngine this is what fans out across workers.  The
+                # selection above consumed only self.rng, never the results, so
+                # batched evaluation replays the serial trajectory exactly.
+                children = self.evaluator.evaluate_many(
+                    [parent.scheme.extend(self.space[c]) for parent, c in selected]
                 )
-            self.fmo.train(epochs=self.config.fmo_epochs)
-            self.record()
-            round_index += 1
+                for (parent, candidate_index), child in zip(selected, children):
+                    self._ensure_tracked(child)
+                    # Mark s as explored under seq (Algorithm 2, line 9).
+                    self._unexplored[parent.scheme.identifier][candidate_index] = False
+                    # Observed step targets for Eq. 5.
+                    ar_step = (child.accuracy - parent.accuracy) / max(parent.accuracy, 1e-9)
+                    pr_step = (parent.params - child.params) / max(parent.params, 1)
+                    self.fmo.observe(
+                        parent.scheme, self._state_of(parent), candidate_index,
+                        ar_step, pr_step,
+                    )
+                self.fmo.train(epochs=self.config.fmo_epochs)
+                self.record()
+                round_index += 1
+            finally:
+                if round_span is not None:
+                    self.tracer.finish(round_span)
 
         return self.finish()

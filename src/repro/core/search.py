@@ -10,12 +10,14 @@ Pareto-optimal schemes and a trajectory for the Figure 4/5 plots.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from itertools import islice
 from typing import List, Optional
 
 import numpy as np
 
+from ..obs import NULL_TRACER
 from ..space.scheme import CompressionScheme
 from ..space.strategy import StrategySpace
 from .evaluator import EvaluationResult
@@ -50,6 +52,10 @@ class SearchResult:
     #: populated by harnesses running behind an EvaluationEngine
     #: (cache_hits / fresh_evaluations / workers)
     engine_stats: Optional[dict] = None
+    #: wall-clock seconds from the first trajectory snapshot to finish()
+    wall_seconds: float = 0.0
+    #: metrics snapshot from the attached tracer (None when tracing is off)
+    obs: Optional[dict] = None
 
     @property
     def best(self) -> Optional[EvaluationResult]:
@@ -79,6 +85,7 @@ class SearchStrategy:
         budget_hours: float = 24.0,
         max_length: int = 5,
         seed: int = 0,
+        tracer=None,
     ):
         self.evaluator = evaluator
         self.space = space
@@ -88,6 +95,13 @@ class SearchStrategy:
         self.seed = seed
         self.rng = np.random.default_rng(seed)
         self.trajectory: List[TrajectoryPoint] = []
+        # Observability: inherit the evaluator's tracer unless given one
+        # explicitly, so obs.attach_tracer(evaluator, t) before construction
+        # wires the whole search.
+        self.tracer = (
+            tracer if tracer is not None else getattr(evaluator, "tracer", NULL_TRACER)
+        )
+        self._run_started: Optional[float] = None
         # incremental record() bookkeeping: results consumed so far, the
         # running Pareto front and the running best feasible result
         self._consumed = 0
@@ -131,6 +145,8 @@ class SearchStrategy:
         contribute nothing to the hypervolume, so front-only HV equals
         full-history HV.)
         """
+        if self._run_started is None:
+            self._run_started = time.perf_counter()
         new = list(islice(self.evaluator.results.values(), self._consumed, None))
         self._consumed += len(new)
         for result in new:
@@ -154,9 +170,27 @@ class SearchStrategy:
             front_size=len(self._front),
         )
         self.trajectory.append(point)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.event(
+                "search.trajectory",
+                cost=point.cost,
+                evaluations=point.evaluations,
+                best_accuracy=point.best_accuracy,
+                best_ar=point.best_ar,
+                hypervolume=point.hypervolume,
+                front_size=point.front_size,
+            )
+            metrics = tracer.metrics
+            metrics.gauge("search.front_size").set(point.front_size)
+            metrics.gauge("search.hypervolume").set(point.hypervolume)
+            metrics.gauge("search.best_accuracy").set(point.best_accuracy)
+            metrics.gauge("search.total_cost").set(point.cost)
+            metrics.gauge("search.evaluations").set(point.evaluations)
         return point
 
     def finish(self) -> SearchResult:
+        tracer = self.tracer
         return SearchResult(
             algorithm=self.name,
             pareto=self.evaluator.pareto_results(self.gamma),
@@ -168,6 +202,10 @@ class SearchStrategy:
             all_results=[
                 r for r in self.evaluator.results.values() if not r.scheme.is_empty
             ],
+            wall_seconds=(
+                time.perf_counter() - self._run_started if self._run_started else 0.0
+            ),
+            obs=tracer.metrics.snapshot() if tracer.enabled else None,
         )
 
     def run(self) -> SearchResult:  # pragma: no cover - abstract

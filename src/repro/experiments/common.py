@@ -17,6 +17,7 @@ from ..core.engine import EvaluationEngine
 from ..core.evaluator import EvaluationResult, SurrogateEvaluator
 from ..core.progressive import ProgressiveConfig, ProgressiveSearch
 from ..core.search import SearchResult
+from ..obs import RunJournal, Tracer, attach_tracer
 from ..data.tasks import EXP1, EXP2, CompressionTask, transfer_task
 from ..knowledge.embedding import EmbeddingConfig, StrategyEmbeddings, learn_embeddings
 from ..models import create_model
@@ -38,6 +39,7 @@ class ExperimentConfig:
     seed: int = 0
     workers: int = 0                  # evaluation worker processes (0 = serial)
     cache_dir: Optional[str] = None   # persistent cross-run result cache
+    journal: Optional[str] = None     # JSONL run-journal path (repro.obs)
 
     def embedding_config(self) -> EmbeddingConfig:
         return EmbeddingConfig(
@@ -100,6 +102,8 @@ def run_algorithm(
     With ``config.workers`` / ``config.cache_dir`` set, the evaluator is
     wrapped in an :class:`EvaluationEngine` — candidate batches fan out
     across worker processes and/or persist to the cross-run disk cache.
+    With ``config.journal`` set, the whole run streams spans/events to a
+    JSONL journal (summarise with ``repro trace summarize``).
     """
     model_name, dataset_name, task = EXPERIMENTS[exp_name]
     evaluator = make_evaluator(model_name, dataset_name, task, seed=config.seed)
@@ -107,6 +111,15 @@ def run_algorithm(
         evaluator = EvaluationEngine(
             evaluator, workers=config.workers, cache_dir=config.cache_dir
         )
+    tracer = None
+    if config.journal is not None:
+        tracer = Tracer(
+            journal=RunJournal(
+                config.journal,
+                run={"algorithm": name, "experiment": exp_name, "seed": config.seed},
+            )
+        )
+        attach_tracer(evaluator, tracer)
     space = space or StrategySpace()
     common = dict(
         gamma=0.3, budget_hours=config.budget_hours, max_length=5, seed=config.seed
@@ -141,6 +154,8 @@ def run_algorithm(
     finally:
         if isinstance(evaluator, EvaluationEngine):
             evaluator.close()
+        if tracer is not None:
+            tracer.close()
 
 
 def pick_block(

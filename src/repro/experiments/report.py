@@ -12,6 +12,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from ..core.search import SearchResult
 from .common import EXPERIMENTS, ExperimentConfig
 from .export import table2_to_dict, table3_to_dict, write_json
 from .figure4 import Figure4Result, run_figure4
@@ -38,6 +39,46 @@ class FullReport:
         for name, path in sorted(self.artifacts.items()):
             lines.append(f"  {name:<22s} -> {path}")
         return "\n".join(lines)
+
+
+def format_attribution(search_results: Dict[str, Dict[str, SearchResult]]) -> str:
+    """Timing / cost attribution across the shared search runs.
+
+    One row per (experiment, algorithm): wall-clock seconds, evaluation
+    count, simulated GPU-hours, and — when the run went through an
+    :class:`~repro.core.engine.EvaluationEngine` — the cache-hit split.
+    """
+    lines = [
+        "Search attribution (wall-clock vs simulated cost)",
+        "",
+        f"{'experiment':<8s} {'algorithm':<10s} {'wall[s]':>9s} {'evals':>7s} "
+        f"{'sim[h]':>8s} {'sec/eval':>9s}  engine",
+        "-" * 72,
+    ]
+    for exp_name in sorted(search_results):
+        for algo in sorted(search_results[exp_name]):
+            result = search_results[exp_name][algo]
+            per_eval = result.wall_seconds / max(result.evaluations, 1)
+            if result.engine_stats:
+                stats = result.engine_stats
+                engine = (
+                    f"{stats.get('workers', 0)}w "
+                    f"{stats.get('cache_hits', 0)} cached / "
+                    f"{stats.get('fresh_evaluations', 0)} fresh"
+                )
+            else:
+                engine = "-"
+            lines.append(
+                f"{exp_name:<8s} {algo:<10s} {result.wall_seconds:>9.2f} "
+                f"{result.evaluations:>7d} {result.total_cost:>8.2f} "
+                f"{per_eval:>9.4f}  {engine}"
+            )
+    lines.append("")
+    lines.append(
+        "sec/eval = wall-clock per evaluated scheme; sim[h] is the simulated "
+        "GPU-hour budget actually charged (Evaluator.total_cost)."
+    )
+    return "\n".join(lines)
 
 
 def run_full_report(
@@ -79,6 +120,7 @@ def run_full_report(
     emit("table3.txt", table3.format())
     emit("figure4.txt", figure4.format())
     emit("figure6.txt", figure6.format())
+    emit("attribution.txt", format_attribution(table2.search_results))
     if figure5 is not None:
         emit("figure5.txt", figure5.format())
 

@@ -13,6 +13,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from ..obs import NULL_TRACER
 from .layers import Module
 from .losses import cross_entropy
 from .optim import SGD, CosineSchedule, Optimizer
@@ -69,6 +70,9 @@ class Trainer:
         #: :func:`repro.nn.tensor.detect_anomaly` so the first NaN/Inf raises
         #: an AnomalyError naming the op that produced it.
         self.detect_anomaly = detect_anomaly
+        #: observability hook (see repro.obs); with the default NULL_TRACER
+        #: the per-step overhead is a single attribute check
+        self.tracer = NULL_TRACER
 
     def fit(
         self,
@@ -101,22 +105,49 @@ class Trainer:
         rng = np.random.default_rng(self.seed)
         guard = detect_anomaly() if self.detect_anomaly else contextlib.nullcontext()
         step = 0
-        with guard:
-            while step < total_steps:
-                for xb, yb, idx in dataset.iter_batches(
-                    self.batch_size, shuffle=True, rng=rng, with_indices=True
-                ):
-                    logits = model(Tensor(xb))
-                    loss = loss_fn(logits, yb, idx)
-                    opt.zero_grad()
-                    loss.backward()
-                    opt.step()
-                    if schedule is not None:
-                        schedule.step()
-                    if step_hook is not None:
-                        step_hook(model, step)
-                    report.losses.append(loss.item())
-                    step += 1
-                    if step >= total_steps:
-                        break
+        tracer = self.tracer
+        traced = tracer.enabled
+        fit_span = (
+            tracer.start("train.fit", epochs=float(epochs), steps=total_steps)
+            if traced
+            else None
+        )
+        epoch_span = tracer.start("train.epoch", epoch=0) if traced else None
+        try:
+            with guard:
+                while step < total_steps:
+                    for xb, yb, idx in dataset.iter_batches(
+                        self.batch_size, shuffle=True, rng=rng, with_indices=True
+                    ):
+                        logits = model(Tensor(xb))
+                        loss = loss_fn(logits, yb, idx)
+                        opt.zero_grad()
+                        loss.backward()
+                        opt.step()
+                        if schedule is not None:
+                            schedule.step()
+                        if step_hook is not None:
+                            step_hook(model, step)
+                        report.losses.append(loss.item())
+                        step += 1
+                        if traced and (step % steps_per_epoch == 0 or step >= total_steps):
+                            epoch_index = (step - 1) // steps_per_epoch
+                            epoch_losses = report.losses[epoch_index * steps_per_epoch:]
+                            epoch_span.set(
+                                epoch=epoch_index,
+                                steps=len(epoch_losses),
+                                mean_loss=float(np.mean(epoch_losses)),
+                            )
+                            tracer.finish(epoch_span)
+                            epoch_span = None
+                            if step < total_steps:
+                                epoch_span = tracer.start("train.epoch", epoch=epoch_index + 1)
+                        if step >= total_steps:
+                            break
+        finally:
+            if epoch_span is not None:
+                tracer.finish(epoch_span)
+            if fit_span is not None:
+                fit_span.set(final_loss=report.final_loss)
+                tracer.finish(fit_span)
         return report

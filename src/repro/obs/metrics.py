@@ -1,0 +1,167 @@
+"""In-process metrics registry: counters, gauges and histograms.
+
+Everything is plain Python on purpose (the repo's zero-dependency rule):
+instruments are tiny mutable objects handed out by a :class:`Metrics`
+registry, and :meth:`Metrics.snapshot` renders the whole registry as a JSON-
+serialisable dict — the payload attached to ``SearchResult.obs`` and printed
+by ``repro trace summarize``.
+
+The registry is deliberately not thread-safe: every producer in this
+codebase (searches, evaluators, the engine's *parent* process) runs on one
+thread, and worker processes never touch a tracer.  A no-op twin
+(:class:`NullMetrics`) backs the :class:`~repro.obs.tracing.NullTracer` so
+unguarded ``tracer.metrics.counter(...).inc()`` calls are harmless when
+tracing is off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class Counter:
+    """Monotonically increasing value (ints or simulated GPU-hours)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    # alias that reads better for non-unit increments (cost accumulation)
+    add = inc
+
+
+class Gauge:
+    """Last-written value (front size, hypervolume, ...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Streaming summary of observed values (count/sum/min/max).
+
+    Bucketed percentiles are overkill for the span durations and batch sizes
+    tracked here; min/mean/max is what the attribution report prints.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class Metrics:
+    """Registry of named instruments (get-or-create semantics)."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self.counters.get(name)
+        if instrument is None:
+            instrument = self.counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self.gauges.get(name)
+        if instrument is None:
+            instrument = self.gauges[name] = Gauge()
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self.histograms.get(name)
+        if instrument is None:
+            instrument = self.histograms[name] = Histogram()
+        return instrument
+
+    def snapshot(self) -> dict:
+        """JSON-serialisable dump of every instrument."""
+        return {
+            "counters": {name: c.value for name, c in sorted(self.counters.items())},
+            "gauges": {name: g.value for name, g in sorted(self.gauges.items())},
+            "histograms": {
+                name: {
+                    "count": h.count,
+                    "sum": h.total,
+                    "min": h.min,
+                    "max": h.max,
+                    "mean": h.mean,
+                }
+                for name, h in sorted(self.histograms.items())
+            },
+        }
+
+
+class _NullInstrument:
+    """Accepts every instrument method as a no-op."""
+
+    __slots__ = ()
+    value = None
+    count = 0
+    total = 0.0
+    mean = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    add = inc
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics:
+    """Registry twin that hands out shared no-op instruments."""
+
+    __slots__ = ()
+    counters: Dict[str, Counter] = {}
+    gauges: Dict[str, Gauge] = {}
+    histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+NULL_METRICS = NullMetrics()

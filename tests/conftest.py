@@ -15,6 +15,21 @@ from repro.nn import Trainer
 from repro.space import StrategySpace
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="regenerate the checked-in golden files instead of comparing "
+             "against them (review the diff before committing!)",
+    )
+
+
+@pytest.fixture(scope="session")
+def update_goldens(request) -> bool:
+    return request.config.getoption("--update-goldens")
+
+
 @pytest.fixture(scope="session")
 def space() -> StrategySpace:
     return StrategySpace()

@@ -26,6 +26,15 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure", "7"])
 
+    def test_trace_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+    def test_trace_summarize_args(self):
+        args = build_parser().parse_args(["trace", "summarize", "run.jsonl", "--json"])
+        assert args.journal == "run.jsonl"
+        assert args.json is True
+
 
 class TestCommands:
     def test_inspect(self, capsys):
@@ -43,6 +52,27 @@ class TestCommands:
         assert main(["search", "exp1", "--algorithm", "Random", "--budget", "0.5"]) == 0
         out = capsys.readouterr().out
         assert "Random" in out and "Pareto" in out
+
+    def test_search_with_journal_then_summarize(self, capsys, tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        assert main(["search", "exp1", "--algorithm", "Random", "--budget", "0.2",
+                     "--journal", journal]) == 0
+        out = capsys.readouterr().out
+        assert "run journal written" in out
+
+        assert main(["trace", "summarize", journal]) == 0
+        out = capsys.readouterr().out
+        assert "fresh" in out and "simulated cost" in out
+
+        assert main(["trace", "summarize", journal, "--json"]) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["fresh_evaluations"] > 0
+
+    def test_trace_summarize_missing_file(self, capsys, tmp_path):
+        assert main(["trace", "summarize", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no such journal" in capsys.readouterr().err
 
     def test_evaluate_scheme(self, capsys):
         code = main(["evaluate", "exp1", "C3[HP1=0.5,HP2=0.2,HP6=0.9]"])

@@ -1,0 +1,183 @@
+"""Fuzz tests: corrupted inputs degrade gracefully, never with a traceback.
+
+Two attack surfaces, matching how bad data actually reaches the system:
+
+* *scheme ingestion* — garbage identifiers, mangled hyperparameter dicts and
+  oversized chains must surface as ``ValueError``/``KeyError``/
+  ``SchemeRejected`` (the documented rejection channels), never as an
+  ``AttributeError``/``TypeError``/``IndexError`` escaping the parser or
+  linter;
+* *journal ingestion* — arbitrary bytes, truncations and type-confused JSON
+  records must leave :func:`read_journal`/:func:`summarize_journal` standing
+  (corruption is counted and skipped — the schema's forward-compatibility
+  contract).
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import SchemeRejected, lint_scheme
+from repro.space import CompressionScheme, StrategySpace
+from repro.space.hyperparams import HP_GRID, METHOD_HPS
+from repro.space.strategy import make_strategy
+from repro.obs import RunJournal, read_journal, summarize_journal
+
+SPACE = StrategySpace()
+
+#: the only exception types the scheme-ingestion layer may raise
+INGESTION_ERRORS = (ValueError, KeyError, SchemeRejected)
+
+
+# --------------------------------------------------------------------------- #
+class TestSchemeFuzz:
+    @settings(max_examples=100, deadline=None)
+    @given(st.text(max_size=60))
+    def test_parse_scheme_never_crashes(self, text):
+        try:
+            scheme = SPACE.parse_scheme(text)
+        except INGESTION_ERRORS:
+            return
+        # parse succeeded: the result must round-trip through its identifier
+        assert SPACE.parse_scheme(scheme.identifier).identifier == scheme.identifier
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        label=st.one_of(
+            st.sampled_from(sorted(METHOD_HPS)), st.text(max_size=5)
+        ),
+        hp=st.dictionaries(
+            st.one_of(st.sampled_from(sorted(HP_GRID)), st.text(max_size=4)),
+            st.one_of(
+                st.floats(allow_nan=True, allow_infinity=True),
+                st.integers(),
+                st.text(max_size=6),
+                st.none(),
+                st.lists(st.integers(), max_size=2),
+            ),
+            max_size=6,
+        ),
+    )
+    def test_make_strategy_rejects_or_builds(self, label, hp):
+        """Mangled hp dicts either build a strategy or raise a typed error."""
+        try:
+            strategy = make_strategy(label, hp)
+        except INGESTION_ERRORS:
+            return
+        assert strategy.method_label == label
+        # every expected hyperparameter made it through, in canonical order
+        assert [name for name, _ in strategy.hp_items] == list(METHOD_HPS[label])
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        indices=st.lists(st.integers(0, len(SPACE) - 1), min_size=1, max_size=8)
+    )
+    def test_lint_scheme_always_returns_report(self, indices):
+        """Any chain of in-space strategies lints without raising."""
+        scheme = CompressionScheme(tuple(SPACE[i] for i in indices))
+        report = lint_scheme(scheme)
+        assert report.subject == scheme.identifier
+        if scheme.length > 5:
+            assert "L006" in report.rules()
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_evaluator_lint_raises_only_scheme_rejected(self, data, shared_surrogate):
+        """The evaluator's gate rejects bad schemes via SchemeRejected only."""
+        indices = data.draw(
+            st.lists(st.integers(0, len(SPACE) - 1), min_size=6, max_size=9)
+        )
+        doomed = CompressionScheme(tuple(SPACE[i] for i in indices))
+        before = (shared_surrogate.total_cost, shared_surrogate.evaluation_count)
+        with pytest.raises(SchemeRejected):
+            shared_surrogate.evaluate(doomed)
+        assert (shared_surrogate.total_cost, shared_surrogate.evaluation_count) == before
+
+
+@pytest.fixture(scope="module")
+def shared_surrogate():
+    from repro.core import EvaluatorConfig, SurrogateEvaluator
+    from repro.data.tasks import EXP1, transfer_task
+    from repro.models import resnet20
+
+    task = transfer_task(EXP1, "resnet20", 0.27, 0.08, EXP1.model_accuracy)
+    return SurrogateEvaluator(
+        lambda: resnet20(num_classes=10), "resnet20", "cifar10", task,
+        config=EvaluatorConfig(seed=0),
+    )
+
+
+# --------------------------------------------------------------------------- #
+class TestJournalFuzz:
+    @settings(max_examples=60, deadline=None)
+    @given(garbage=st.binary(max_size=400))
+    def test_arbitrary_bytes_never_crash_the_reader(self, garbage, tmp_path_factory):
+        path = tmp_path_factory.mktemp("fuzz") / "garbage.jsonl"
+        path.write_bytes(garbage)
+        records = list(read_journal(path))
+        summary = summarize_journal(path)
+        assert summary.records == len(records)
+        assert summary.sim_cost_total >= 0.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        records=st.lists(
+            st.one_of(
+                # type-confused but parseable JSON values
+                st.integers(),
+                st.lists(st.integers(), max_size=3),
+                st.text(max_size=10),
+                st.dictionaries(st.text(max_size=6), st.integers(), max_size=3),
+                # records with the right type but wrong field types
+                st.fixed_dictionaries(
+                    {
+                        "type": st.sampled_from(["span", "event", "meta", "new_kind"]),
+                        "name": st.one_of(st.text(max_size=8), st.integers(), st.none()),
+                        "dur": st.one_of(st.floats(allow_nan=False), st.text(max_size=3)),
+                        "cost": st.one_of(st.floats(allow_nan=False), st.none()),
+                        "attrs": st.one_of(st.dictionaries(st.text(max_size=4), st.integers(), max_size=2), st.integers()),
+                    }
+                ),
+            ),
+            max_size=15,
+        )
+    )
+    def test_type_confused_records_are_tolerated(self, records, tmp_path_factory):
+        path = tmp_path_factory.mktemp("fuzz") / "confused.jsonl"
+        with open(path, "w") as handle:
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+        summary = summarize_journal(path)
+        assert summary.records + summary.skipped_lines <= len(records)
+        assert summary.fresh_evaluations >= 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(cut=st.integers(0, 400), seed=st.integers(0, 10))
+    def test_truncation_at_any_byte_degrades_gracefully(
+        self, cut, seed, tmp_path_factory
+    ):
+        """A journal chopped at any byte offset still summarises."""
+        root = tmp_path_factory.mktemp("fuzz")
+        path = root / "full.jsonl"
+        with RunJournal(path, run={"seed": seed}) as journal:
+            for i in range(3):
+                journal.write(
+                    {"type": "span", "name": "evaluate", "id": i + 1,
+                     "parent": None, "t": 0.0, "dur": 0.01, "cost": 0.125,
+                     "attrs": {"scheme": f"s{i}"}}
+                )
+        data = path.read_bytes()
+        cut_path = root / "cut.jsonl"
+        cut_path.write_bytes(data[: min(cut, len(data))])
+        summary = summarize_journal(cut_path)
+        assert 0 <= summary.fresh_evaluations <= 3
+        assert summary.sim_cost_total == pytest.approx(
+            0.125 * summary.fresh_evaluations
+        )
+        assert summary.skipped_lines <= 1  # at most the chopped final line
+
+    def test_summarize_missing_file_raises_oserror_only(self, tmp_path):
+        with pytest.raises(OSError):
+            summarize_journal(tmp_path / "does-not-exist.jsonl")

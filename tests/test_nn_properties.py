@@ -1,0 +1,252 @@
+"""Property-based tests for the repro.nn autodiff substrate.
+
+Two families of invariants:
+
+* *gradient correctness* — for randomly composed Conv2d/BatchNorm2d/Linear
+  stacks, the analytic gradient of a scalar loss matches a central-difference
+  numerical gradient on every parameter;
+* *algebraic identities* — tensor ops that must commute or cancel
+  (``sum`` is reshape/transpose-invariant, ``mean == sum / size``,
+  ``transpose∘transpose == id``) do so in both value and gradient.
+
+Hypothesis draws the architectures/shapes; examples stay tiny because
+central differences probe every parameter entry.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import BatchNorm2d, Conv2d, Flatten, Linear, ReLU, Sequential, Tensor
+from repro.nn.layers import GlobalAvgPool2d
+
+from .conftest import numeric_gradient
+
+
+def _loss(model, x_data):
+    """Scalar loss of the model on fixed input (squared sum is curvature-rich)."""
+    out = model(Tensor(x_data))
+    return (out * out).sum()
+
+
+def _check_param_gradients(model, x_data, atol=5e-4):
+    loss = _loss(model, x_data)
+    for p in model.parameters():
+        p.zero_grad()
+    loss.backward()
+    for name, param in model.named_parameters():
+        numeric = numeric_gradient(
+            lambda: float(_loss(model, x_data).item()), param.data, eps=1e-5
+        )
+        np.testing.assert_allclose(
+            param.grad, numeric, atol=atol, rtol=1e-3,
+            err_msg=f"gradient mismatch in {name}",
+        )
+
+
+conv_specs = st.lists(
+    st.tuples(
+        st.integers(1, 3),                # out_channels
+        st.sampled_from([1, 3]),          # kernel_size
+        st.booleans(),                    # follow with BatchNorm2d
+        st.booleans(),                    # follow with ReLU
+    ),
+    min_size=1,
+    max_size=2,
+)
+
+
+class TestRandomGraphGradients:
+    @settings(max_examples=10, deadline=None)
+    @given(specs=conv_specs, channels=st.integers(1, 2), size=st.sampled_from([4, 5]))
+    def test_conv_bn_relu_stack(self, specs, channels, size):
+        rng = np.random.default_rng(0)
+        layers = []
+        in_channels = channels
+        for out_channels, kernel, use_bn, use_relu in specs:
+            layers.append(
+                Conv2d(in_channels, out_channels, kernel, padding=kernel // 2, rng=rng)
+            )
+            if use_bn:
+                layers.append(BatchNorm2d(out_channels))
+            if use_relu:
+                layers.append(ReLU())
+            in_channels = out_channels
+        model = Sequential(*layers)
+        model.eval()  # deterministic BN: numeric probing must not move stats
+        x = rng.normal(size=(2, channels, size, size))
+        _check_param_gradients(model, x)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        widths=st.lists(st.integers(1, 5), min_size=1, max_size=3),
+        batch=st.integers(1, 3),
+    )
+    def test_linear_relu_stack(self, widths, batch):
+        rng = np.random.default_rng(1)
+        layers = []
+        in_features = 4
+        for width in widths:
+            layers.append(Linear(in_features, width, rng=rng))
+            layers.append(ReLU())
+            in_features = width
+        layers.append(Linear(in_features, 2, rng=rng))
+        model = Sequential(*layers)
+        x = rng.normal(size=(batch, 4))
+        _check_param_gradients(model, x)
+
+    @settings(max_examples=6, deadline=None)
+    @given(channels=st.integers(1, 2), classes=st.integers(2, 4))
+    def test_conv_pool_flatten_linear_head(self, channels, classes):
+        """The canonical image-classifier shape, end to end."""
+        rng = np.random.default_rng(2)
+        model = Sequential(
+            Conv2d(channels, 2, 3, padding=1, rng=rng),
+            BatchNorm2d(2),
+            ReLU(),
+            GlobalAvgPool2d(),
+            Flatten(),
+            Linear(2, classes, rng=rng),
+        )
+        model.eval()
+        x = rng.normal(size=(2, channels, 4, 4))
+        _check_param_gradients(model, x)
+
+    @settings(max_examples=8, deadline=None)
+    @given(batch=st.integers(2, 4), features=st.integers(1, 3))
+    def test_batchnorm_training_mode_gradients(self, batch, features):
+        """BN's batch-statistics path (training mode) also differentiates.
+
+        Running stats mutate per forward, so gradients are checked against a
+        stats-frozen closure: clone the module state before each probe.
+        """
+        rng = np.random.default_rng(3)
+        bn = BatchNorm2d(features)
+        bn.train()
+        x_data = rng.normal(size=(batch, features, 3, 3))
+
+        def loss():
+            bn.running_mean[:] = 0.0
+            bn.running_var[:] = 1.0
+            out = bn(Tensor(x_data))
+            return (out * out).sum()
+
+        value = loss()
+        for p in bn.parameters():
+            p.zero_grad()
+        value.backward()
+        for name, param in bn.named_parameters():
+            numeric = numeric_gradient(lambda: float(loss().item()), param.data, eps=1e-5)
+            np.testing.assert_allclose(
+                param.grad, numeric, atol=5e-4, rtol=1e-3,
+                err_msg=f"gradient mismatch in {name}",
+            )
+
+
+# --------------------------------------------------------------------------- #
+shapes = st.sampled_from([(2, 3), (4,), (2, 2, 3), (1, 6), (3, 2, 1)])
+
+
+class TestAlgebraicIdentities:
+    @settings(max_examples=25, deadline=None)
+    @given(shape=shapes, seed=st.integers(0, 2**16))
+    def test_sum_is_reshape_invariant(self, shape, seed):
+        data = np.random.default_rng(seed).normal(size=shape)
+        direct = Tensor(data, requires_grad=True)
+        reshaped = Tensor(data, requires_grad=True)
+
+        s1 = direct.sum()
+        s2 = reshaped.reshape(-1).sum()
+        assert s1.item() == s2.item()
+        s1.backward()
+        s2.backward()
+        np.testing.assert_array_equal(direct.grad, reshaped.grad)
+
+    @settings(max_examples=25, deadline=None)
+    @given(shape=shapes, seed=st.integers(0, 2**16))
+    def test_mean_equals_sum_over_size(self, shape, seed):
+        data = np.random.default_rng(seed).normal(size=shape)
+        a = Tensor(data, requires_grad=True)
+        b = Tensor(data, requires_grad=True)
+        m = a.mean()
+        s = b.sum() * (1.0 / data.size)
+        np.testing.assert_allclose(m.item(), s.item(), rtol=1e-12)
+        m.backward()
+        s.backward()
+        np.testing.assert_allclose(a.grad, b.grad, rtol=1e-12)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        rows=st.integers(1, 4), cols=st.integers(1, 4), seed=st.integers(0, 2**16)
+    )
+    def test_transpose_involution(self, rows, cols, seed):
+        data = np.random.default_rng(seed).normal(size=(rows, cols))
+        x = Tensor(data, requires_grad=True)
+        roundtrip = x.transpose().transpose()
+        np.testing.assert_array_equal(roundtrip.data, data)
+        (roundtrip * roundtrip).sum().backward()
+        np.testing.assert_allclose(x.grad, 2 * data, rtol=1e-12)
+
+    @settings(max_examples=25, deadline=None)
+    @given(shape=shapes, seed=st.integers(0, 2**16))
+    def test_sum_is_transpose_invariant(self, shape, seed):
+        data = np.random.default_rng(seed).normal(size=shape)
+        plain = Tensor(data, requires_grad=True)
+        flipped = Tensor(data, requires_grad=True)
+        axes = tuple(reversed(range(len(shape))))
+        s1 = plain.sum()
+        s2 = flipped.transpose(*axes).sum()
+        np.testing.assert_allclose(s1.item(), s2.item(), rtol=1e-12)
+        s1.backward()
+        s2.backward()
+        np.testing.assert_array_equal(plain.grad, flipped.grad)
+
+    @settings(max_examples=25, deadline=None)
+    @given(shape=shapes, seed=st.integers(0, 2**16))
+    def test_add_mul_distribute(self, shape, seed):
+        """(x + x) * c == 2c * x, values and gradients."""
+        data = np.random.default_rng(seed).normal(size=shape)
+        a = Tensor(data, requires_grad=True)
+        b = Tensor(data, requires_grad=True)
+        lhs = ((a + a) * 3.0).sum()
+        rhs = (b * 6.0).sum()
+        np.testing.assert_allclose(lhs.item(), rhs.item(), rtol=1e-12)
+        lhs.backward()
+        rhs.backward()
+        np.testing.assert_allclose(a.grad, b.grad, rtol=1e-12)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        rows=st.integers(1, 3), inner=st.integers(1, 3), cols=st.integers(1, 3),
+        seed=st.integers(0, 2**16),
+    )
+    def test_matmul_transpose_identity(self, rows, inner, cols, seed):
+        """(A @ B)^T == B^T @ A^T with matching gradients."""
+        rng = np.random.default_rng(seed)
+        a_data = rng.normal(size=(rows, inner))
+        b_data = rng.normal(size=(inner, cols))
+        a1, b1 = Tensor(a_data, requires_grad=True), Tensor(b_data, requires_grad=True)
+        a2, b2 = Tensor(a_data, requires_grad=True), Tensor(b_data, requires_grad=True)
+        lhs = (a1 @ b1).transpose()
+        rhs = b2.transpose() @ a2.transpose()
+        np.testing.assert_allclose(lhs.data, rhs.data, rtol=1e-12)
+        (lhs * lhs).sum().backward()
+        (rhs * rhs).sum().backward()
+        np.testing.assert_allclose(a1.grad, a2.grad, rtol=1e-10)
+        np.testing.assert_allclose(b1.grad, b2.grad, rtol=1e-10)
+
+    @settings(max_examples=20, deadline=None)
+    @given(shape=shapes, seed=st.integers(0, 2**16))
+    def test_relu_split_identity(self, shape, seed):
+        """x == relu(x) - relu(-x), values and (a.e.) gradients."""
+        data = np.random.default_rng(seed).normal(size=shape)
+        # avoid the kink: keep every entry away from 0
+        data = np.where(np.abs(data) < 1e-3, 1e-3, data)
+        a = Tensor(data, requires_grad=True)
+        b = Tensor(data, requires_grad=True)
+        lhs = a.sum()
+        rhs = (b.relu() - (-b).relu()).sum()
+        np.testing.assert_allclose(lhs.item(), rhs.item(), rtol=1e-12)
+        lhs.backward()
+        rhs.backward()
+        np.testing.assert_allclose(a.grad, b.grad, rtol=1e-12)

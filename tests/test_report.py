@@ -31,7 +31,8 @@ class TestFullReport:
     def test_all_artifacts_written(self, report):
         expected = {
             "table2.txt", "table2_vs_paper.txt", "table3.txt",
-            "figure4.txt", "figure6.txt", "table2.json", "table3.json",
+            "figure4.txt", "figure6.txt", "attribution.txt",
+            "table2.json", "table3.json",
         }
         assert expected <= set(report.artifacts)
         for path in report.artifacts.values():
@@ -57,3 +58,12 @@ class TestFullReport:
     def test_summary_lists_artifacts(self, report):
         text = report.summary()
         assert "table2.txt" in text and "->" in text
+
+    def test_attribution_rows_cover_all_searches(self, report):
+        with open(report.artifacts["attribution.txt"]) as handle:
+            text = handle.read()
+        for exp, searches in report.table2.search_results.items():
+            assert exp in text
+            for algo in searches:
+                assert algo in text
+        assert "sec/eval" in text
