@@ -15,6 +15,7 @@ from __future__ import annotations
 import os
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 from repro.experiments import ExperimentConfig
@@ -39,6 +40,11 @@ def bench_config() -> ExperimentConfig:
 @pytest.fixture(scope="session")
 def config() -> ExperimentConfig:
     return bench_config()
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
 
 
 def write_report(name: str, text: str) -> None:

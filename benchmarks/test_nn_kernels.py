@@ -1,0 +1,148 @@
+"""Perf-regression suite for the repro.nn fast-path kernels.
+
+Two layers of protection:
+
+* *correctness*: the fused kernels (conv2d+relu, add_relu, batch_norm) must
+  match the primitive-composed reference within float32 tolerance — a fused
+  kernel that drifts is a bug even if it is fast;
+* *performance*: the microbenchmarks re-run the workloads recorded in
+  ``benchmarks/BENCH_nn.json`` and assert the committed >= 2x speedup on the
+  two end-to-end workloads has not regressed.
+
+``REPRO_BENCH_SMOKE=1`` (the CI setting) shrinks every shape so the suite
+runs in seconds; the perf assertions are skipped there because smoke-sized
+timings are dominated by Python dispatch, not kernels.  The JSON report is
+written to ``benchmarks/out/BENCH_nn.json`` either way so CI can upload it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, no_grad
+from repro.nn import functional as F
+from repro.nn.bench import PRE_FASTPATH_BASELINE, build_report, run_kernel_benchmarks
+
+from .conftest import OUT_DIR
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+
+# float32 accumulation noise bound for the fused-vs-reference comparisons.
+RTOL, ATOL = 1e-5, 1e-5
+
+
+# --------------------------------------------------------------------------- #
+# Fused kernels match the primitive composition
+# --------------------------------------------------------------------------- #
+class TestFusedMatchesReference:
+    def test_conv2d_fused_relu(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 8, 8)))
+        w = Tensor(rng.normal(size=(4, 3, 3, 3)))
+        b = Tensor(rng.normal(size=(4,)))
+        fused = F.conv2d(x, w, b, stride=1, padding=1, activation="relu")
+        reference = F.conv2d(x, w, b, stride=1, padding=1).relu()
+        np.testing.assert_allclose(fused.data, reference.data, rtol=RTOL, atol=ATOL)
+
+    def test_conv2d_fused_relu_gradients(self, rng):
+        x1 = Tensor(rng.normal(size=(2, 3, 6, 6)), requires_grad=True)
+        w1 = Tensor(rng.normal(size=(4, 3, 3, 3)), requires_grad=True)
+        x2 = Tensor(x1.data.copy(), requires_grad=True)
+        w2 = Tensor(w1.data.copy(), requires_grad=True)
+        F.conv2d(x1, w1, stride=1, padding=1, activation="relu").sum().backward()
+        F.conv2d(x2, w2, stride=1, padding=1).relu().sum().backward()
+        np.testing.assert_allclose(x1.grad, x2.grad, rtol=RTOL, atol=ATOL)
+        np.testing.assert_allclose(w1.grad, w2.grad, rtol=RTOL, atol=ATOL)
+
+    def test_add_relu(self, rng):
+        a = Tensor(rng.normal(size=(4, 8, 5, 5)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 8, 5, 5)), requires_grad=True)
+        fused = F.add_relu(a, b)
+        reference = (Tensor(a.data.copy()) + Tensor(b.data.copy())).relu()
+        np.testing.assert_allclose(fused.data, reference.data, rtol=RTOL, atol=ATOL)
+
+    def test_add_relu_gradients(self, rng):
+        a1 = Tensor(rng.normal(size=(3, 4, 4, 4)), requires_grad=True)
+        b1 = Tensor(rng.normal(size=(3, 4, 4, 4)), requires_grad=True)
+        a2 = Tensor(a1.data.copy(), requires_grad=True)
+        b2 = Tensor(b1.data.copy(), requires_grad=True)
+        (F.add_relu(a1, b1) * 3.0).sum().backward()
+        ((a2 + b2).relu() * 3.0).sum().backward()
+        np.testing.assert_allclose(a1.grad, a2.grad, rtol=RTOL, atol=ATOL)
+        np.testing.assert_allclose(b1.grad, b2.grad, rtol=RTOL, atol=ATOL)
+
+    def test_batch_norm_training(self, rng):
+        x = rng.normal(size=(8, 5, 4, 4))
+        gamma = rng.normal(size=(5,)) + 1.0
+        beta = rng.normal(size=(5,))
+        rmean, rvar = np.zeros(5, np.float32), np.ones(5, np.float32)
+        out = F.batch_norm(
+            Tensor(x), Tensor(gamma), Tensor(beta), rmean.copy(), rvar.copy(),
+            training=True, eps=1e-5,
+        )
+        # Primitive-composed reference at float64.
+        mean = x.mean(axis=(0, 2, 3), keepdims=True)
+        var = x.var(axis=(0, 2, 3), keepdims=True)
+        expected = (x - mean) / np.sqrt(var + 1e-5)
+        expected = expected * gamma.reshape(1, -1, 1, 1) + beta.reshape(1, -1, 1, 1)
+        np.testing.assert_allclose(out.data, expected, rtol=RTOL, atol=ATOL)
+
+    def test_batch_norm_eval(self, rng):
+        x = rng.normal(size=(8, 5, 4, 4))
+        gamma = rng.normal(size=(5,)) + 1.0
+        beta = rng.normal(size=(5,))
+        rmean = rng.normal(size=(5,)).astype(np.float32)
+        rvar = (rng.uniform(0.5, 2.0, size=(5,))).astype(np.float32)
+        out = F.batch_norm(
+            Tensor(x), Tensor(gamma), Tensor(beta), rmean, rvar,
+            training=False, eps=1e-5,
+        )
+        expected = (x - rmean.reshape(1, -1, 1, 1)) / np.sqrt(
+            rvar.reshape(1, -1, 1, 1).astype(np.float64) + 1e-5
+        )
+        expected = expected * gamma.reshape(1, -1, 1, 1) + beta.reshape(1, -1, 1, 1)
+        np.testing.assert_allclose(out.data, expected, rtol=RTOL, atol=ATOL)
+
+    def test_inference_matches_grad_mode(self, rng):
+        from repro.models import resnet8
+
+        model = resnet8(num_classes=4).eval()
+        x = rng.normal(size=(2, 3, 8, 8))
+        with_tape = model(Tensor(x)).data
+        with no_grad():
+            without_tape = model(Tensor(x)).data
+        np.testing.assert_array_equal(with_tape, without_tape)
+
+
+# --------------------------------------------------------------------------- #
+# Microbenchmarks -> BENCH_nn.json (+ regression gate at full sizes)
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def bench_results():
+    return run_kernel_benchmarks(smoke=SMOKE, repeats=3 if SMOKE else 5)
+
+
+def test_kernel_benchmarks_emit_report(bench_results):
+    report = build_report(bench_results, smoke=SMOKE)
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / "BENCH_nn.json"
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {path}")
+    for name, seconds in bench_results.items():
+        print(f"  {name:<20} {seconds:.6f}s")
+    assert set(bench_results) == set(PRE_FASTPATH_BASELINE)
+    assert all(seconds > 0 for seconds in bench_results.values())
+
+
+@pytest.mark.skipif(SMOKE, reason="smoke sizes are not comparable to the baseline")
+@pytest.mark.parametrize("workload", ["resnet56_step", "inference_batch"])
+def test_speedup_vs_committed_baseline(bench_results, workload):
+    """The headline claim: >= 2x over the pre-fast-path kernels."""
+    speedup = PRE_FASTPATH_BASELINE[workload] / bench_results[workload]
+    assert speedup >= 2.0, (
+        f"{workload} regressed: {speedup:.2f}x vs the committed baseline "
+        f"({PRE_FASTPATH_BASELINE[workload]:.4f}s -> {bench_results[workload]:.4f}s)"
+    )

@@ -8,6 +8,7 @@ figure4/5/6  regenerate the paper's figures
 inspect      print the search-space / knowledge-graph inventory
 analyze      statically verify models / checkpoints / schemes
 trace        summarize a JSONL run journal (see ``search --journal``)
+bench        time the repro.nn hot-path kernels against the committed baseline
 """
 
 from __future__ import annotations
@@ -205,6 +206,28 @@ def cmd_analyze(args) -> int:
     return 1 if failed else 0
 
 
+def cmd_bench(args) -> int:
+    import json
+
+    from .nn.bench import build_report, format_report, run_kernel_benchmarks
+
+    results = run_kernel_benchmarks(
+        smoke=args.smoke, repeats=args.repeats, seed=args.seed, only=args.only
+    )
+    report = build_report(results, smoke=args.smoke)
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_report(report))
+        if args.output:
+            print(f"report written to {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -289,6 +312,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("journal", help="path to the .jsonl run journal")
     p.add_argument("--json", action="store_true", help="emit machine-readable JSON")
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "bench",
+        help="microbenchmark the repro.nn kernels (conv/BN/train-step/inference)",
+        description="Time the repro.nn hot-path kernels and compare against the "
+                    "committed pre-fast-path baseline (see benchmarks/BENCH_nn.json "
+                    "and docs/performance.md).",
+    )
+    p.add_argument("--smoke", action="store_true",
+                   help="tiny shapes for CI; numbers not comparable to baseline")
+    p.add_argument("--repeats", type=int, default=5,
+                   help="timing repetitions per workload (median is reported)")
+    p.add_argument("--only", default=None,
+                   help="run a single workload, e.g. resnet56_step")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+    p.add_argument("--output", default=None,
+                   help="also write the JSON report here (e.g. BENCH_nn.json)")
+    p.set_defaults(func=cmd_bench)
     return parser
 
 

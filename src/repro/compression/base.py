@@ -59,15 +59,16 @@ class ExecutionContext:
             return float("nan")
         was_training = model.training
         model.eval()
-        from ..nn.tensor import Tensor
+        from ..nn.tensor import Tensor, no_grad
 
         correct = total = 0
-        for i, (xb, yb) in enumerate(data.iter_batches(32, shuffle=False)):
-            if i >= batches:
-                break
-            logits = model(Tensor(xb)).data
-            correct += int((logits.argmax(-1) == yb).sum())
-            total += len(yb)
+        with no_grad():
+            for i, (xb, yb) in enumerate(data.iter_batches(32, shuffle=False)):
+                if i >= batches:
+                    break
+                logits = model(Tensor(xb)).data
+                correct += int((logits.argmax(-1) == yb).sum())
+                total += len(yb)
         model.train(was_training)
         return correct / max(total, 1)
 

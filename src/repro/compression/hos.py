@@ -26,7 +26,7 @@ import numpy as np
 from ..models.pruning import PrunableUnit
 from ..nn import Conv2d, Module
 from ..nn.losses import cross_entropy, mse_loss
-from ..nn.tensor import Tensor
+from ..nn.tensor import Tensor, no_grad
 from .base import CompressionMethod, ExecutionContext, StepReport
 from .factorized import TuckerConv2d, replace_module
 from .hooi import choose_tucker_ranks, tucker2, tucker2_params
@@ -183,7 +183,8 @@ class HOSCompression(CompressionMethod):
         def loss_fn(logits: Tensor, targets: np.ndarray, idx: np.ndarray) -> Tensor:
             loss = cross_entropy(logits, targets)
             if teacher is not None and mse_factor > 0:
-                with_teacher = teacher(Tensor(ctx.dataset.images[idx])).data
+                with no_grad():
+                    with_teacher = teacher(Tensor(ctx.dataset.images[idx])).data
                 loss = loss + mse_loss(logits, with_teacher) * mse_factor
             return loss
 

@@ -21,7 +21,7 @@ import numpy as np
 from ..nn import Conv2d, Module
 from ..nn import functional as F
 from ..nn.losses import cross_entropy, mse_loss, nll_loss
-from ..nn.tensor import Tensor
+from ..nn.tensor import Tensor, no_grad
 from .base import CompressionMethod, ExecutionContext, StepReport
 from .factorized import BasisConv2d, replace_module
 
@@ -152,7 +152,8 @@ class LearningFilterBasis(CompressionMethod):
             raise ValueError(f"unknown HP16 auxiliary loss {aux_kind!r}")
 
         def loss_fn(logits: Tensor, targets: np.ndarray, idx: np.ndarray) -> Tensor:
-            teacher_logits = teacher(Tensor(ctx.dataset.images[idx])).data
+            with no_grad():
+                teacher_logits = teacher(Tensor(ctx.dataset.images[idx])).data
             return cross_entropy(logits, targets) + aux(logits, teacher_logits) * factor
 
         ctx.trainer.fit(model, ctx.dataset, epochs, loss_fn=loss_fn)

@@ -19,7 +19,7 @@ import numpy as np
 
 from ..nn import Module
 from ..nn.losses import lma_distillation_loss
-from ..nn.tensor import Tensor
+from ..nn.tensor import Tensor, no_grad
 from .base import CompressionMethod, ExecutionContext, StepReport
 from .surgery import uniform_width_scale
 
@@ -47,7 +47,8 @@ class LMADistillation(CompressionMethod):
             teacher.eval()
 
             def loss_fn(logits: Tensor, targets: np.ndarray, idx: np.ndarray) -> Tensor:
-                teacher_logits = teacher(Tensor(ctx.dataset.images[idx])).data
+                with no_grad():
+                    teacher_logits = teacher(Tensor(ctx.dataset.images[idx])).data
                 return lma_distillation_loss(
                     logits, teacher_logits, targets, temperature, alpha, self.segments
                 )

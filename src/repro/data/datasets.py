@@ -15,6 +15,8 @@ from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
+from ..nn.tensor import get_default_dtype
+
 
 def _class_prototype(
     label: int, channels: int, size: int, rng: np.random.Generator
@@ -64,7 +66,9 @@ class SyntheticImageDataset:
         # Per-channel standardisation, as one would do with real CIFAR.
         mean = images.mean(axis=(0, 2, 3), keepdims=True)
         std = images.std(axis=(0, 2, 3), keepdims=True) + 1e-8
-        self.images = (images - mean) / std
+        # Stored in the training dtype so every batch feeds the model without
+        # a per-step astype copy.
+        self.images = ((images - mean) / std).astype(get_default_dtype())
         self.labels = labels.astype(np.int64)
 
     # ------------------------------------------------------------------ #

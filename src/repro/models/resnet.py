@@ -15,6 +15,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..nn import BatchNorm2d, Conv2d, GlobalAvgPool2d, Linear, Module, Sequential
+from ..nn import functional as F
 from ..nn.tensor import Tensor
 from .pruning import PrunableUnit
 
@@ -46,7 +47,7 @@ class BasicBlock(Module):
         out = self.bn1(self.conv1(x)).relu()
         out = self.bn2(self.conv2(out))
         skip = x if self.downsample is None else self.downsample(x)
-        return (out + skip).relu()
+        return F.add_relu(out, skip)
 
 
 class Bottleneck(Module):
@@ -86,7 +87,7 @@ class Bottleneck(Module):
         out = self.bn2(self.conv2(out)).relu()
         out = self.bn3(self.conv3(out))
         skip = x if self.downsample is None else self.downsample(x)
-        return (out + skip).relu()
+        return F.add_relu(out, skip)
 
 
 class ResNet(Module):

@@ -30,7 +30,17 @@ from .metrics import confusion_matrix, evaluate_metrics, per_class_accuracy, top
 from .optim import SGD, Adam, CosineSchedule, Optimizer, StepSchedule
 from .profile import ModelProfile, count_flops, count_params, profile_model
 from .serialization import load_model, load_state, save_model
-from .tensor import Tensor, concat, stack, where
+from .tensor import (
+    Tensor,
+    concat,
+    default_dtype,
+    get_default_dtype,
+    is_grad_enabled,
+    no_grad,
+    set_default_dtype,
+    stack,
+    where,
+)
 from .train import Trainer, TrainReport, evaluate_accuracy
 
 __all__ = [
@@ -60,9 +70,14 @@ __all__ = [
     "confusion_matrix",
     "count_flops",
     "count_params",
+    "default_dtype",
     "evaluate_accuracy",
     "evaluate_metrics",
+    "get_default_dtype",
+    "is_grad_enabled",
+    "no_grad",
     "per_class_accuracy",
+    "set_default_dtype",
     "top_k_accuracy",
     "functional",
     "init",

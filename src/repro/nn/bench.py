@@ -1,0 +1,204 @@
+"""Microbenchmarks for the repro.nn hot-path kernels.
+
+The workloads mirror how the search actually exercises the substrate: conv2d
+forward (surrogate inference), conv2d forward+backward (fine-tuning), fused
+batch-norm in both modes, one full ResNet-56 SGD step, and a grad-free
+inference batch.  ``repro bench`` and ``benchmarks/test_nn_kernels.py`` both
+drive :func:`run_kernel_benchmarks`; results are written to ``BENCH_nn.json``
+alongside the committed pre-fast-path baseline so speedups are always
+computed against the same reference.
+
+Timings are wall-clock medians — robust against one-off scheduler noise but
+still sensitive to machine load, which is why the perf assertions in the
+benchmark suite leave generous headroom below the measured speedups.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+#: Median kernel timings (seconds) measured on the commit before the
+#: fast-path kernels landed (fused batch_norm / conv+relu / add_relu,
+#: grad-free inference, float32 default).  Same workloads, same machine
+#: class as CI; used to report speedup factors in BENCH_nn.json.
+PRE_FASTPATH_BASELINE: Dict[str, float] = {
+    "conv2d_fwd": 0.005847,
+    "conv2d_fwd_bwd": 0.033697,
+    "batchnorm_fwd_bwd": 0.004500,
+    "batchnorm_eval": 0.001539,
+    "resnet56_step": 1.318985,
+    "inference_batch": 2.433395,
+}
+
+#: Workload shapes. ``full`` matches the baseline measurement; ``smoke`` is
+#: a seconds-long variant for CI.
+WORKLOADS = {
+    "full": {
+        "conv_x": (8, 16, 32, 32),
+        "conv_w": (16, 16, 3, 3),
+        "bn_x": (32, 32, 16, 16),
+        "step_batch": 8,
+        "inference_batch": 32,
+        "resnet_depth": 56,
+    },
+    "smoke": {
+        "conv_x": (2, 8, 16, 16),
+        "conv_w": (8, 8, 3, 3),
+        "bn_x": (4, 8, 8, 8),
+        "step_batch": 2,
+        "inference_batch": 4,
+        "resnet_depth": 8,
+    },
+}
+
+
+def _median_time(fn: Callable[[], None], repeats: int, number: int) -> float:
+    """Median over ``repeats`` of the mean time of ``number`` calls."""
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(number):
+            fn()
+        samples.append((time.perf_counter() - t0) / number)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def run_kernel_benchmarks(
+    smoke: bool = False,
+    repeats: int = 5,
+    seed: int = 0,
+    only: Optional[str] = None,
+) -> Dict[str, float]:
+    """Time the repro.nn hot-path kernels; returns {workload: seconds}.
+
+    ``smoke=True`` shrinks every shape so the whole suite runs in a couple
+    of seconds (used by the CI job; the numbers are not comparable to the
+    committed baseline, which uses the ``full`` sizes).
+    """
+    from ..models import ResNet
+    from .losses import cross_entropy
+    from .optim import SGD
+    from .tensor import Tensor, no_grad
+    from . import functional as F
+
+    sizes = WORKLOADS["smoke" if smoke else "full"]
+    rng = np.random.default_rng(seed)
+    results: Dict[str, float] = {}
+
+    def wanted(name: str) -> bool:
+        return only is None or name == only
+
+    if wanted("conv2d_fwd"):
+        x = Tensor(rng.normal(size=sizes["conv_x"]))
+        w = Tensor(rng.normal(size=sizes["conv_w"]))
+        with no_grad():
+            results["conv2d_fwd"] = _median_time(
+                lambda: F.conv2d(x, w, stride=1, padding=1), repeats, 3
+            )
+
+    if wanted("conv2d_fwd_bwd"):
+        xg = Tensor(rng.normal(size=sizes["conv_x"]), requires_grad=True)
+        wg = Tensor(rng.normal(size=sizes["conv_w"]), requires_grad=True)
+
+        def conv_step() -> None:
+            xg.zero_grad()
+            wg.zero_grad()
+            F.conv2d(xg, wg, stride=1, padding=1).sum().backward()
+
+        results["conv2d_fwd_bwd"] = _median_time(conv_step, repeats, 3)
+
+    if wanted("batchnorm_fwd_bwd") or wanted("batchnorm_eval"):
+        channels = sizes["bn_x"][1]
+        bx = Tensor(rng.normal(size=sizes["bn_x"]))
+        gamma = Tensor(np.ones(channels), requires_grad=True)
+        beta = Tensor(np.zeros(channels), requires_grad=True)
+        rmean = np.zeros(channels, dtype=bx.dtype)
+        rvar = np.ones(channels, dtype=bx.dtype)
+
+        if wanted("batchnorm_fwd_bwd"):
+
+            def bn_step() -> None:
+                gamma.zero_grad()
+                beta.zero_grad()
+                F.batch_norm(bx, gamma, beta, rmean, rvar, training=True).sum().backward()
+
+            results["batchnorm_fwd_bwd"] = _median_time(bn_step, repeats, 3)
+
+        if wanted("batchnorm_eval"):
+            with no_grad():
+                results["batchnorm_eval"] = _median_time(
+                    lambda: F.batch_norm(bx, gamma, beta, rmean, rvar, training=False),
+                    repeats,
+                    3,
+                )
+
+    if wanted("resnet56_step") or wanted("inference_batch"):
+        model = ResNet(sizes["resnet_depth"], num_classes=10)
+
+        if wanted("resnet56_step"):
+            opt = SGD(model.parameters(), lr=0.05, momentum=0.9)
+            step_x = rng.normal(size=(sizes["step_batch"], 3, 32, 32))
+            step_y = rng.integers(0, 10, size=sizes["step_batch"])
+
+            def train_step() -> None:
+                logits = model(Tensor(step_x))
+                loss = cross_entropy(logits, step_y)
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+
+            model.train()
+            results["resnet56_step"] = _median_time(train_step, repeats, 1)
+
+        if wanted("inference_batch"):
+            model.eval()
+            inf_x = rng.normal(size=(sizes["inference_batch"], 3, 32, 32))
+            with no_grad():
+                results["inference_batch"] = _median_time(
+                    lambda: model(Tensor(inf_x)), repeats, 1
+                )
+
+    return results
+
+
+def build_report(results: Dict[str, float], smoke: bool = False) -> Dict[str, object]:
+    """Assemble the BENCH_nn.json payload: baseline, current, speedups."""
+    speedup = {
+        name: PRE_FASTPATH_BASELINE[name] / seconds
+        for name, seconds in results.items()
+        if name in PRE_FASTPATH_BASELINE and seconds > 0 and not smoke
+    }
+    return {
+        "suite": "repro.nn kernel microbenchmarks",
+        "sizes": "smoke" if smoke else "full",
+        "baseline": {
+            "description": "pre fast-path kernels (fused BN/conv+relu, "
+                           "grad-free inference, float32 default)",
+            "results_s": PRE_FASTPATH_BASELINE,
+        },
+        "current": {"results_s": results},
+        "speedup_vs_baseline": speedup,
+    }
+
+
+def format_report(report: Dict[str, object]) -> str:
+    """Human-readable table of the BENCH_nn.json payload."""
+    baseline = report["baseline"]["results_s"]
+    current = report["current"]["results_s"]
+    speedup = report.get("speedup_vs_baseline", {})
+    lines = [
+        f"repro.nn kernel benchmarks ({report['sizes']} sizes)",
+        f"{'workload':<20} {'baseline (s)':>14} {'current (s)':>14} {'speedup':>9}",
+    ]
+    for name, seconds in current.items():
+        base = baseline.get(name)
+        base_s = f"{base:.6f}" if base is not None else "-"
+        ratio = f"{speedup[name]:.2f}x" if name in speedup else "-"
+        lines.append(f"{name:<20} {base_s:>14} {seconds:>14.6f} {ratio:>9}")
+    if report["sizes"] == "smoke":
+        lines.append("(smoke sizes are CI-scaled; not comparable to the baseline column)")
+    return "\n".join(lines)

@@ -1,10 +1,17 @@
 """Neural-network operations built on :mod:`repro.nn.tensor`.
 
-Convolution uses an im2col formulation with a hand-written backward pass (the
-scatter-add of col2im is much faster written explicitly than composed from
-primitive ops).  Everything else — batch norm, softmax, pooling — is composed
-from differentiable :class:`~repro.nn.tensor.Tensor` primitives so autodiff
-derives the gradients.
+The hot ops are *fused kernels*: single registered ops whose forward is one
+numpy expression and whose backward is hand-written in closed form, instead
+of a chain of primitive tape nodes that each allocate a fresh array.
+
+* :func:`conv2d` — im2col + BLAS matmul forward, explicit col2im backward,
+  with an optional fused ReLU (``activation="relu"``);
+* :func:`batch_norm` — one op for both modes: batch statistics with the
+  closed-form batchnorm backward during training, a precomputed scale/shift
+  multiply-add at eval time;
+* :func:`add_relu` — the ResNet residual join ``relu(a + b)`` as one kernel;
+* pooling backward passes are vectorised scatter-adds (a single reshape
+  scatter when windows do not overlap, per-tap strided adds otherwise).
 """
 
 from __future__ import annotations
@@ -14,10 +21,11 @@ from typing import Optional, Tuple
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
-from .tensor import Tensor, _register_op
+from .tensor import Tensor, _register_op, _unbroadcast
 
 # Optional sink used by repro.nn.profile to count FLOPs during a forward
-# pass.  When set, conv2d/linear call ``_PROFILE_SINK(name, flops)``.
+# pass.  When set, conv2d/linear/batch_norm/add_relu call
+# ``_PROFILE_SINK(name, flops)``.
 _PROFILE_SINK = None
 
 
@@ -38,11 +46,22 @@ def _col2im(
     stride: int,
     out_hw: Tuple[int, int],
 ) -> np.ndarray:
-    """Scatter-add patch gradients back to the (padded) input gradient."""
+    """Scatter-add patch gradients back to the (padded) input gradient.
+
+    Non-overlapping windows (stride >= kernel) scatter with one vectorised
+    reshape assignment; overlapping windows accumulate one whole-array
+    strided add per kernel tap (kh*kw adds, each fully vectorised).
+    """
     n, c, hp, wp = x_shape
     ho, wo = out_hw
+    blocks = dcols.reshape(n, ho, wo, c, kh, kw)
+    if stride >= kh and stride >= kw and hp == stride * ho and wp == stride * wo:
+        dx = np.zeros(x_shape, dtype=dcols.dtype)
+        view = dx.reshape(n, c, ho, stride, wo, stride)
+        view[:, :, :, :kh, :, :kw] = blocks.transpose(0, 3, 1, 4, 2, 5)
+        return dx
     dx = np.zeros(x_shape, dtype=dcols.dtype)
-    blocks = dcols.reshape(n, ho, wo, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
+    blocks = blocks.transpose(0, 3, 4, 5, 1, 2)
     for i in range(kh):
         for j in range(kw):
             dx[:, :, i : i + stride * ho : stride, j : j + stride * wo : stride] += (
@@ -57,8 +76,16 @@ def conv2d(
     bias: Optional[Tensor] = None,
     stride: int = 1,
     padding: int = 0,
+    activation: Optional[str] = None,
 ) -> Tensor:
-    """2D convolution for NCHW input and (F, C, kh, kw) weights."""
+    """2D convolution for NCHW input and (F, C, kh, kw) weights.
+
+    ``activation="relu"`` fuses the ReLU into the kernel: the clamp happens
+    in place on the conv output and the backward pass masks the incoming
+    gradient before the usual conv backward — no extra tape node.
+    """
+    if activation not in (None, "relu"):
+        raise ValueError(f"conv2d activation must be None or 'relu', got {activation!r}")
     f, c_w, kh, kw = weight.shape
     n, c, h, w = x.shape
     if c != c_w:
@@ -73,41 +100,71 @@ def conv2d(
         _PROFILE_SINK("conv2d", 2 * macs + (n * ho * wo * f if bias is not None else 0))
     out = cols @ wmat.T  # (N, Ho*Wo, F)
     if bias is not None:
-        out = out + bias.data
+        out += bias.data
     out = out.transpose(0, 2, 1).reshape(n, f, ho, wo)
+    relu_mask = None
+    if activation == "relu":
+        out = np.maximum(out, 0.0, out=np.ascontiguousarray(out))
 
     parents = (x, weight) if bias is None else (x, weight, bias)
 
     def backward(grad: np.ndarray) -> None:
-        gout = grad.reshape(n, f, ho * wo).transpose(0, 2, 1)  # (N, Ho*Wo, F)
+        if relu_mask is not None:
+            grad = grad * relu_mask
+        gmat = grad.reshape(n, f, ho * wo)  # (N, F, Ho*Wo), no copy
         if weight.requires_grad:
-            dw = np.einsum("nlf,nlk->fk", gout, cols).reshape(weight.shape)
+            # Single BLAS gemm: contract batch and spatial dims at once.
+            dw = np.tensordot(gmat, cols, axes=([0, 2], [0, 1])).reshape(weight.shape)
             weight._accumulate(dw)
         if bias is not None and bias.requires_grad:
-            bias._accumulate(gout.sum(axis=(0, 1)))
+            bias._accumulate(gmat.sum(axis=(0, 2)))
         if x.requires_grad:
-            dcols = gout @ wmat  # (N, Ho*Wo, C*kh*kw)
+            dcols = np.matmul(gmat.transpose(0, 2, 1), wmat)  # (N, Ho*Wo, C*kh*kw)
             dxp = _col2im(dcols, xp.shape, kh, kw, stride, (ho, wo))
             if padding:
                 dxp = dxp[:, :, padding:-padding, padding:-padding]
             x._accumulate(dxp)
 
-    requires = any(p.requires_grad for p in parents)
-    result = Tensor(out, requires_grad=requires, _parents=parents if requires else ())
-    if requires:
-        result._backward = backward
+    result = x._make(out, parents, backward)
+    if activation == "relu" and result.requires_grad:
+        relu_mask = out > 0
     return _register_op(result, "conv2d")
 
 
 def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
     """Affine map ``x @ weight.T + bias`` for (N, in) input and (out, in) weight."""
     if _PROFILE_SINK is not None:
-        macs = int(np.prod(x.shape[:-1])) * weight.shape[0] * weight.shape[1]
-        _PROFILE_SINK("linear", 2 * macs)
+        rows = int(np.prod(x.shape[:-1]))
+        macs = rows * weight.shape[0] * weight.shape[1]
+        # The bias add counts one FLOP per output element, exactly as conv2d
+        # counts its bias, so fused/unfused model profiles agree.
+        _PROFILE_SINK("linear", 2 * macs + (rows * weight.shape[0] if bias is not None else 0))
     out = x @ weight.T
     if bias is not None:
         out = out + bias
     return out
+
+
+def add_relu(a: Tensor, b: Tensor) -> Tensor:
+    """Fused ``relu(a + b)`` — the ResNet residual join as one kernel.
+
+    One allocation for the forward value and one mask in the backward,
+    instead of the add node + relu node (and their intermediates) the
+    primitive composition costs.
+    """
+    a = a if isinstance(a, Tensor) else Tensor(a)
+    b = b if isinstance(b, Tensor) else Tensor(b)
+    out = a.data + b.data
+    np.maximum(out, 0.0, out=out)
+    if _PROFILE_SINK is not None:
+        _PROFILE_SINK("add_relu", out.size)
+
+    def backward(grad: np.ndarray) -> None:
+        g = grad * (out > 0)
+        a._accumulate(_unbroadcast(g, a.shape))
+        b._accumulate(_unbroadcast(g, b.shape))
+
+    return _register_op(a._make(out, (a, b), backward), "add_relu")
 
 
 def max_pool2d(x: Tensor, kernel: int = 2, stride: Optional[int] = None) -> Tensor:
@@ -131,19 +188,30 @@ def max_pool2d(x: Tensor, kernel: int = 2, stride: Optional[int] = None) -> Tens
         np.add.at(dx, (nn_idx, cc_idx, ii, jj), grad)
         x._accumulate(dx)
 
-    result = Tensor(out, requires_grad=x.requires_grad, _parents=(x,) if x.requires_grad else ())
-    if x.requires_grad:
-        result._backward = backward
-    return _register_op(result, "max_pool2d")
+    return _register_op(x._make(out, (x,), backward), "max_pool2d")
 
 
 def avg_pool2d(x: Tensor, kernel: int = 2, stride: Optional[int] = None) -> Tensor:
-    """Average pooling (non-overlapping fast path when stride == kernel)."""
+    """Average pooling as a single fused op.
+
+    Non-overlapping windows (the common stride == kernel case) reduce with
+    one reshaped mean and scatter their backward with one broadcast — no
+    Python loop and no intermediate tape nodes.
+    """
     stride = stride or kernel
     n, c, h, w = x.shape
+    inv = 1.0 / (kernel * kernel)
     if stride == kernel and h % kernel == 0 and w % kernel == 0:
-        reshaped = x.reshape(n, c, h // kernel, kernel, w // kernel, kernel)
-        return reshaped.mean(axis=5).mean(axis=3)
+        ho, wo = h // kernel, w // kernel
+        out = x.data.reshape(n, c, ho, kernel, wo, kernel).mean(axis=(3, 5))
+
+        def backward(grad: np.ndarray) -> None:
+            share = np.asarray(grad * inv)[:, :, :, None, :, None]
+            dx = np.broadcast_to(share, (n, c, ho, kernel, wo, kernel))
+            x._accumulate(np.ascontiguousarray(dx).reshape(n, c, h, w))
+
+        return _register_op(x._make(out, (x,), backward), "avg_pool2d")
+
     windows = sliding_window_view(x.data, (kernel, kernel), axis=(2, 3))
     windows = windows[:, :, ::stride, ::stride]
     ho, wo = windows.shape[2], windows.shape[3]
@@ -151,21 +219,26 @@ def avg_pool2d(x: Tensor, kernel: int = 2, stride: Optional[int] = None) -> Tens
 
     def backward(grad: np.ndarray) -> None:
         dx = np.zeros_like(x.data)
-        share = grad / (kernel * kernel)
+        share = grad * inv
         for i in range(kernel):
             for j in range(kernel):
                 dx[:, :, i : i + stride * ho : stride, j : j + stride * wo : stride] += share
         x._accumulate(dx)
 
-    result = Tensor(out, requires_grad=x.requires_grad, _parents=(x,) if x.requires_grad else ())
-    if x.requires_grad:
-        result._backward = backward
-    return _register_op(result, "avg_pool2d")
+    return _register_op(x._make(out, (x,), backward), "avg_pool2d")
 
 
 def global_avg_pool2d(x: Tensor) -> Tensor:
     """Average over the spatial dims of NCHW, returning (N, C)."""
-    return x.mean(axis=(2, 3))
+    n, c, h, w = x.shape
+    out = x.data.mean(axis=(2, 3))
+    inv = 1.0 / (h * w)
+
+    def backward(grad: np.ndarray) -> None:
+        dx = np.broadcast_to(np.asarray(grad * inv)[:, :, None, None], x.shape)
+        x._accumulate(np.ascontiguousarray(dx))
+
+    return _register_op(x._make(out, (x,), backward), "global_avg_pool2d")
 
 
 def batch_norm(
@@ -180,23 +253,64 @@ def batch_norm(
 ) -> Tensor:
     """Batch normalisation over channel dim of NCHW (or feature dim of NF).
 
+    A single fused op in both modes.  Training normalises with batch
+    statistics and uses the closed-form batchnorm backward; eval collapses
+    the whole transform into a precomputed per-channel ``scale``/``shift``
+    (materialised in ``x``'s dtype) so inference is one multiply-add.
     ``running_mean``/``running_var`` are updated in place during training.
     """
     axes = (0, 2, 3) if x.ndim == 4 else (0,)
     shape = (1, -1, 1, 1) if x.ndim == 4 else (1, -1)
+    dtype = x.dtype
+    if _PROFILE_SINK is not None:
+        _PROFILE_SINK("batch_norm", 2 * x.size)
     if training:
-        mean = x.mean(axis=axes, keepdims=True)
-        var = x.var(axis=axes, keepdims=True)
+        mean = x.data.mean(axis=axes, dtype=dtype)
+        var = x.data.var(axis=axes, dtype=dtype)
         running_mean *= 1.0 - momentum
-        running_mean += momentum * mean.data.reshape(-1)
+        running_mean += momentum * mean.astype(running_mean.dtype, copy=False)
         running_var *= 1.0 - momentum
-        running_var += momentum * var.data.reshape(-1)
-        x_hat = (x - mean) / (var + eps).sqrt()
-    else:
-        mean = running_mean.reshape(shape)
-        var = running_var.reshape(shape)
-        x_hat = (x - mean) * (1.0 / np.sqrt(var + eps))
-    return x_hat * gamma.reshape(shape) + beta.reshape(shape)
+        running_var += momentum * var.astype(running_var.dtype, copy=False)
+        inv_std = 1.0 / np.sqrt(var + eps, dtype=dtype)
+        x_hat = (x.data - mean.reshape(shape)) * inv_std.reshape(shape)
+        out = x_hat * gamma.data.reshape(shape) + beta.data.reshape(shape)
+        m = x.size // x.shape[1] if x.ndim == 4 else x.shape[0]
+
+        def backward(grad: np.ndarray) -> None:
+            dbeta = grad.sum(axis=axes)
+            dgamma = (grad * x_hat).sum(axis=axes)
+            if gamma.requires_grad:
+                gamma._accumulate(dgamma)
+            if beta.requires_grad:
+                beta._accumulate(dbeta)
+            if x.requires_grad:
+                # Closed-form batchnorm backward (Ioffe & Szegedy, 2015):
+                # dx = (gamma/std) / m * (m*dy - sum(dy) - xhat * sum(dy*xhat))
+                coeff = (gamma.data * inv_std / m).reshape(shape)
+                dx = coeff * (
+                    m * grad - dbeta.reshape(shape) - x_hat * dgamma.reshape(shape)
+                )
+                x._accumulate(dx)
+
+        return _register_op(x._make(out, (x, gamma, beta), backward), "batch_norm")
+
+    inv_std = 1.0 / np.sqrt(running_var + eps)
+    scale = (gamma.data * inv_std).astype(dtype, copy=False)
+    shift = (beta.data - running_mean * gamma.data * inv_std).astype(dtype, copy=False)
+    out = x.data * scale.reshape(shape) + shift.reshape(shape)
+
+    def backward(grad: np.ndarray) -> None:
+        if gamma.requires_grad:
+            x_hat = (x.data - running_mean.reshape(shape).astype(dtype, copy=False)) * (
+                inv_std.reshape(shape).astype(dtype, copy=False)
+            )
+            gamma._accumulate((grad * x_hat).sum(axis=axes))
+        if beta.requires_grad:
+            beta._accumulate(grad.sum(axis=axes))
+        if x.requires_grad:
+            x._accumulate(grad * scale.reshape(shape))
+
+    return _register_op(x._make(out, (x, gamma, beta), backward), "batch_norm")
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
@@ -211,11 +325,11 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
 
 
 def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
-    """Inverted dropout; identity at eval time."""
+    """Inverted dropout; identity at eval time.  The mask follows ``x.dtype``."""
     if not training or p <= 0:
         return x
-    mask = (rng.random(x.shape) >= p) / (1.0 - p)
-    return x * Tensor(mask)
+    mask = (rng.random(x.shape) >= p).astype(x.dtype) * x.dtype.type(1.0 / (1.0 - p))
+    return x * Tensor(mask, dtype=x.dtype)
 
 
 def flatten(x: Tensor) -> Tensor:

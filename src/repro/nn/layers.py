@@ -17,14 +17,21 @@ import numpy as np
 
 from . import functional as F
 from . import init
-from .tensor import Tensor
+from .tensor import Tensor, get_default_dtype
 
 
 class Parameter(Tensor):
-    """A tensor registered as a trainable leaf of a module."""
+    """A tensor registered as a trainable leaf of a module.
+
+    Parameters are stored in the global default dtype (float32 unless
+    :func:`repro.nn.set_default_dtype` says otherwise) so the whole training
+    hot path runs at one precision.
+    """
 
     def __init__(self, data: np.ndarray, name: str = ""):
-        super().__init__(np.asarray(data, dtype=np.float64), requires_grad=True, name=name)
+        super().__init__(
+            np.asarray(data, dtype=get_default_dtype()), requires_grad=True, name=name
+        )
 
 
 class Module:
@@ -115,7 +122,9 @@ class Module:
                     f"shape mismatch for {name!r}: "
                     f"{p.data.shape} vs {state[name].shape}"
                 )
-            p.data = state[name].copy()
+            # Cast to the parameter's dtype: checkpoints written at another
+            # precision must not silently change the model's compute dtype.
+            p.data = np.asarray(state[name], dtype=p.data.dtype).copy()
         for name, _ in self.named_buffers():
             if name in state:
                 self._assign_buffer(name, state[name])
@@ -222,8 +231,9 @@ class BatchNorm2d(Module):
         self.eps = eps
         self.gamma = Parameter(np.ones(num_features))
         self.beta = Parameter(np.zeros(num_features))
-        self.register_buffer("running_mean", np.zeros(num_features))
-        self.register_buffer("running_var", np.ones(num_features))
+        dtype = get_default_dtype()
+        self.register_buffer("running_mean", np.zeros(num_features, dtype=dtype))
+        self.register_buffer("running_var", np.ones(num_features, dtype=dtype))
 
     @property
     def num_features(self) -> int:

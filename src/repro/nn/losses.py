@@ -28,7 +28,7 @@ def nll_loss(log_probs: Tensor, targets: np.ndarray) -> Tensor:
 
 
 def mse_loss(prediction: Tensor, target) -> Tensor:
-    target = target if isinstance(target, Tensor) else Tensor(np.asarray(target, dtype=np.float64))
+    target = target if isinstance(target, Tensor) else Tensor(target)
     diff = prediction - target.detach()
     return (diff * diff).mean()
 

@@ -11,7 +11,7 @@ from typing import Dict
 import numpy as np
 
 from .layers import Module
-from .tensor import Tensor
+from .tensor import Tensor, no_grad
 
 
 def top_k_accuracy(logits: np.ndarray, targets: np.ndarray, k: int = 5) -> float:
@@ -44,19 +44,20 @@ def evaluate_metrics(
     batch_size: int = 64,
     top_k: int = 5,
 ) -> Dict[str, object]:
-    """Full evaluation pass: top-1/top-k accuracy + confusion matrix."""
+    """Full evaluation pass (grad-free): top-1/top-k accuracy + confusion matrix."""
     was_training = model.training
     model.eval()
     num_classes = dataset.num_classes
     matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
     topk_hits = 0
     total = 0
-    for xb, yb in dataset.iter_batches(batch_size, shuffle=False):
-        logits = model(Tensor(xb)).data
-        predictions = logits.argmax(axis=-1)
-        matrix += confusion_matrix(predictions, yb, num_classes)
-        topk_hits += int(round(top_k_accuracy(logits, yb, top_k) * len(yb)))
-        total += len(yb)
+    with no_grad():
+        for xb, yb in dataset.iter_batches(batch_size, shuffle=False):
+            logits = model(Tensor(xb)).data
+            predictions = logits.argmax(axis=-1)
+            matrix += confusion_matrix(predictions, yb, num_classes)
+            topk_hits += int(round(top_k_accuracy(logits, yb, top_k) * len(yb)))
+            total += len(yb)
     model.train(was_training)
     accuracy = float(np.trace(matrix)) / max(total, 1)
     return {

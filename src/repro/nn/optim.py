@@ -106,7 +106,11 @@ class CosineSchedule:
     def step(self) -> float:
         self._step = min(self._step + 1, self.total_steps)
         progress = self._step / self.total_steps
-        lr = self.lr_min + 0.5 * (self.lr_max - self.lr_min) * (1 + np.cos(np.pi * progress))
+        # Keep lr a python float: a np.float64 scalar is a *strong* type under
+        # NEP 50 and would silently promote float32 parameters in the update.
+        lr = float(
+            self.lr_min + 0.5 * (self.lr_max - self.lr_min) * (1 + np.cos(np.pi * progress))
+        )
         self.optimizer.lr = lr
         return lr
 

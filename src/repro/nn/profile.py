@@ -15,7 +15,7 @@ import numpy as np
 
 from . import functional as F
 from .layers import Module
-from .tensor import Tensor
+from .tensor import Tensor, no_grad
 
 
 @dataclass(frozen=True)
@@ -57,7 +57,8 @@ def count_flops(model: Module, input_shape: Tuple[int, int, int]) -> int:
     previous = F._PROFILE_SINK
     F._PROFILE_SINK = sink
     try:
-        model(dummy)
+        with no_grad():
+            model(dummy)
     finally:
         F._PROFILE_SINK = previous
         model.train(was_training)

@@ -13,7 +13,15 @@ design intentionally mirrors the small core of PyTorch's autograd:
   ``.grad`` arrays on every tensor with ``requires_grad=True``.
 
 Only float64/float32 arrays are supported; all gradients use the dtype of the
-forward data.
+forward data.  The default construction dtype is float32 (see
+:func:`set_default_dtype`) — training throughput on the numpy substrate is
+memory-bandwidth bound, so halving element width roughly doubles it.
+Gradient-check tests that probe with central differences opt back into
+float64 via :func:`default_dtype`.
+
+:func:`no_grad` disables tape construction entirely: ops executed inside the
+context return plain value tensors with no parents and no backward closures,
+which is the fast path for accuracy evaluation and other pure inference.
 """
 
 from __future__ import annotations
@@ -26,6 +34,73 @@ from typing import Callable, Optional, Sequence, Tuple, Union
 import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+
+# --------------------------------------------------------------------------- #
+# Default dtype (float32 for training throughput; float64 for grad checks)
+# --------------------------------------------------------------------------- #
+_DEFAULT_DTYPE = np.dtype(np.float32)
+
+
+def get_default_dtype() -> np.dtype:
+    """The dtype new tensors (and parameters/buffers) are created with."""
+    return _DEFAULT_DTYPE
+
+
+def set_default_dtype(dtype) -> None:
+    """Set the global construction dtype (float32 or float64).
+
+    Everything downstream — parameters, im2col buffers, dropout masks, batch
+    norm running statistics — follows this dtype, so a single call switches
+    the whole substrate between fast float32 training and float64 precision.
+    """
+    dtype = np.dtype(dtype)
+    if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise ValueError(f"default dtype must be float32 or float64, got {dtype}")
+    global _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = dtype
+
+
+@contextmanager
+def default_dtype(dtype):
+    """Scoped :func:`set_default_dtype` (used by the gradient-check tests)."""
+    previous = _DEFAULT_DTYPE
+    set_default_dtype(dtype)
+    try:
+        yield
+    finally:
+        set_default_dtype(previous)
+
+
+# --------------------------------------------------------------------------- #
+# Gradient mode (no_grad skips tape construction for pure inference)
+# --------------------------------------------------------------------------- #
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Whether ops currently record the autodiff tape."""
+    return _GRAD_ENABLED
+
+
+@contextmanager
+def no_grad():
+    """Disable autodiff tape construction inside the context.
+
+    Ops still compute forward values but skip parent tracking and
+    ``_backward`` closures, so inference costs only the numpy work.  The
+    context nests and is exception-safe; calling :meth:`Tensor.backward`
+    inside it raises a clear :class:`RuntimeError`.
+    """
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    Tensor.inference = True
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+        Tensor.inference = not previous
 
 
 # --------------------------------------------------------------------------- #
@@ -136,14 +211,13 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
-def _as_array(value: ArrayLike, dtype=np.float64) -> np.ndarray:
+def _as_array(value: ArrayLike, dtype=None) -> np.ndarray:
+    target = _DEFAULT_DTYPE if dtype is None else np.dtype(dtype)
     if isinstance(value, np.ndarray):
-        if value.dtype != dtype and np.issubdtype(value.dtype, np.floating):
+        if value.dtype == target:
             return value
-        if not np.issubdtype(value.dtype, np.floating):
-            return value.astype(dtype)
-        return value
-    return np.asarray(value, dtype=dtype)
+        return value.astype(target)
+    return np.asarray(value, dtype=target)
 
 
 class Tensor:
@@ -151,14 +225,18 @@ class Tensor:
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name", "_op", "_ctx")
 
+    #: class-level mirror of the grad mode — True inside :func:`no_grad`
+    inference = False
+
     def __init__(
         self,
         data: ArrayLike,
         requires_grad: bool = False,
         _parents: Tuple["Tensor", ...] = (),
         name: str = "",
+        dtype=None,
     ):
-        self.data = _as_array(data)
+        self.data = _as_array(data, dtype=dtype)
         self.grad: Optional[np.ndarray] = None
         self.requires_grad = bool(requires_grad)
         self._backward: Optional[Callable[[np.ndarray], None]] = None
@@ -203,10 +281,10 @@ class Tensor:
 
     def detach(self) -> "Tensor":
         """A new tensor sharing data but cut from the autodiff graph."""
-        return Tensor(self.data, requires_grad=False)
+        return Tensor(self.data, requires_grad=False, dtype=self.data.dtype)
 
     def copy(self) -> "Tensor":
-        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad, dtype=self.data.dtype)
 
     def zero_grad(self) -> None:
         self.grad = None
@@ -220,8 +298,13 @@ class Tensor:
         parents: Tuple["Tensor", ...],
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
-        requires = any(p.requires_grad for p in parents)
-        out = Tensor(data, requires_grad=requires, _parents=parents if requires else ())
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        # Op results keep the dtype the computation produced — the default
+        # dtype governs construction of *new* tensors, not propagation.
+        out = Tensor(
+            data, requires_grad=requires, _parents=parents if requires else (),
+            dtype=data.dtype,
+        )
         if requires:
             out._backward = backward
         if _ANOMALY is not None:
@@ -501,6 +584,11 @@ class Tensor:
         ``grad`` defaults to ones (i.e. this tensor is treated as a loss); a
         scalar loss is the common case.
         """
+        if not _GRAD_ENABLED:
+            raise RuntimeError(
+                "Tensor.backward() called inside no_grad(): the tape was never "
+                "recorded. Run the forward pass outside no_grad() to train."
+            )
         if grad is None:
             grad = np.ones_like(self.data)
         topo: list[Tensor] = []
@@ -553,8 +641,11 @@ def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
             sl[axis] = slice(start, stop)
             t._accumulate(grad[tuple(sl)])
 
-    requires = any(t.requires_grad for t in tensors)
-    out = Tensor(data, requires_grad=requires, _parents=tuple(tensors) if requires else ())
+    requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+    out = Tensor(
+        data, requires_grad=requires, _parents=tuple(tensors) if requires else (),
+        dtype=data.dtype,
+    )
     if requires:
         out._backward = backward
     return _register_op(out, "concat")
@@ -570,8 +661,11 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
         for t, part in zip(tensors, parts):
             t._accumulate(np.squeeze(part, axis=axis))
 
-    requires = any(t.requires_grad for t in tensors)
-    out = Tensor(data, requires_grad=requires, _parents=tuple(tensors) if requires else ())
+    requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+    out = Tensor(
+        data, requires_grad=requires, _parents=tuple(tensors) if requires else (),
+        dtype=data.dtype,
+    )
     if requires:
         out._backward = backward
     return _register_op(out, "stack")
@@ -588,8 +682,11 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
         a._accumulate(_unbroadcast(grad * cond, a.shape))
         b._accumulate(_unbroadcast(grad * (~cond), b.shape))
 
-    requires = a.requires_grad or b.requires_grad
-    out = Tensor(data, requires_grad=requires, _parents=(a, b) if requires else ())
+    requires = _GRAD_ENABLED and (a.requires_grad or b.requires_grad)
+    out = Tensor(
+        data, requires_grad=requires, _parents=(a, b) if requires else (),
+        dtype=data.dtype,
+    )
     if requires:
         out._backward = backward
     return _register_op(out, "where")

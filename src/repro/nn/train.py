@@ -17,7 +17,7 @@ from ..obs import NULL_TRACER
 from .layers import Module
 from .losses import cross_entropy
 from .optim import SGD, CosineSchedule, Optimizer
-from .tensor import Tensor, detect_anomaly
+from .tensor import Tensor, detect_anomaly, no_grad
 
 
 @dataclass
@@ -34,15 +34,20 @@ class TrainReport:
 
 
 def evaluate_accuracy(model: Module, dataset, batch_size: int = 64) -> float:
-    """Top-1 accuracy of ``model`` on ``dataset`` (fraction in [0, 1])."""
+    """Top-1 accuracy of ``model`` on ``dataset`` (fraction in [0, 1]).
+
+    Runs under :func:`repro.nn.no_grad` — accuracy measurement never needs
+    the tape, so inference skips all autodiff bookkeeping.
+    """
     was_training = model.training
     model.eval()
     correct = 0
     total = 0
-    for xb, yb in dataset.iter_batches(batch_size, shuffle=False):
-        logits = model(Tensor(xb)).data
-        correct += int((logits.argmax(axis=-1) == yb).sum())
-        total += len(yb)
+    with no_grad():
+        for xb, yb in dataset.iter_batches(batch_size, shuffle=False):
+            logits = model(Tensor(xb)).data
+            correct += int((logits.argmax(axis=-1) == yb).sum())
+            total += len(yb)
     model.train(was_training)
     return correct / max(total, 1)
 
@@ -73,6 +78,10 @@ class Trainer:
         #: observability hook (see repro.obs); with the default NULL_TRACER
         #: the per-step overhead is a single attribute check
         self.tracer = NULL_TRACER
+
+    def evaluate(self, model: Module, dataset, batch_size: Optional[int] = None) -> float:
+        """Grad-free top-1 accuracy of ``model`` on ``dataset``."""
+        return evaluate_accuracy(model, dataset, batch_size or self.batch_size)
 
     def fit(
         self,

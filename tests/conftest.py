@@ -30,6 +30,20 @@ def update_goldens(request) -> bool:
     return request.config.getoption("--update-goldens")
 
 
+@pytest.fixture(scope="module")
+def float64_gradcheck():
+    """Run a whole module in float64 (``pytestmark = pytest.mark.usefixtures``).
+
+    Central-difference gradient checks need more precision than the float32
+    training default; module scope keeps hypothesis's function-scoped-fixture
+    health check quiet.
+    """
+    from repro.nn import default_dtype
+
+    with default_dtype(np.float64):
+        yield
+
+
 @pytest.fixture(scope="session")
 def space() -> StrategySpace:
     return StrategySpace()

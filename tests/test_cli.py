@@ -35,6 +35,13 @@ class TestParser:
         assert args.journal == "run.jsonl"
         assert args.json is True
 
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.smoke is False
+        assert args.repeats == 5
+        assert args.only is None
+        assert args.output is None
+
 
 class TestCommands:
     def test_inspect(self, capsys):
@@ -73,6 +80,18 @@ class TestCommands:
     def test_trace_summarize_missing_file(self, capsys, tmp_path):
         assert main(["trace", "summarize", str(tmp_path / "nope.jsonl")]) == 2
         assert "no such journal" in capsys.readouterr().err
+
+    def test_bench_smoke(self, capsys, tmp_path):
+        import json
+
+        report_path = str(tmp_path / "BENCH_nn.json")
+        assert main(["bench", "--smoke", "--repeats", "1",
+                     "--only", "batchnorm_eval", "--output", report_path]) == 0
+        out = capsys.readouterr().out
+        assert "batchnorm_eval" in out
+        payload = json.loads(open(report_path).read())
+        assert payload["sizes"] == "smoke"
+        assert payload["current"]["results_s"]["batchnorm_eval"] > 0
 
     def test_evaluate_scheme(self, capsys):
         code = main(["evaluate", "exp1", "C3[HP1=0.5,HP2=0.2,HP6=0.9]"])

@@ -1,0 +1,108 @@
+"""Dtype discipline of the float32 training default.
+
+One precision end-to-end: tensors, parameters, BN buffers, dropout masks and
+intermediate buffers all follow the global default dtype, and a full model
+forward never silently upcasts to float64 (which would double memory traffic
+on the hot path).
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import tiny_dataset
+from repro.models import resnet8, vgg8_tiny
+from repro.nn import (
+    BatchNorm2d,
+    Tensor,
+    default_dtype,
+    get_default_dtype,
+    set_default_dtype,
+)
+from repro.nn import functional as F
+
+
+class TestDefaultDtype:
+    def test_default_is_float32(self):
+        assert get_default_dtype() == np.float32
+
+    def test_tensor_follows_default(self):
+        assert Tensor([1.0, 2.0]).dtype == np.float32
+        assert Tensor(np.zeros(3, dtype=np.float64)).dtype == np.float32
+
+    def test_context_manager_restores(self):
+        with default_dtype(np.float64):
+            assert get_default_dtype() == np.float64
+            assert Tensor([1.0]).dtype == np.float64
+        assert get_default_dtype() == np.float32
+
+    def test_set_default_dtype_rejects_non_float(self):
+        with pytest.raises(ValueError):
+            set_default_dtype(np.int32)
+
+    def test_explicit_dtype_overrides_default(self):
+        assert Tensor(np.zeros(3), dtype=np.float64).dtype == np.float64
+
+
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+class TestModelForwardPreservesDtype:
+    def test_resnet_forward_dtype(self, rng, dtype):
+        with default_dtype(dtype):
+            model = resnet8(num_classes=4)
+            x = Tensor(rng.normal(size=(2, 3, 8, 8)))
+            assert x.dtype == dtype
+            assert model(x).dtype == dtype
+            assert model.eval()(x).dtype == dtype
+
+    def test_vgg_forward_dtype(self, rng, dtype):
+        # VGG exercises dropout + max-pool paths on top of conv/BN/linear.
+        with default_dtype(dtype):
+            model = vgg8_tiny(num_classes=4)
+            x = Tensor(rng.normal(size=(2, 3, 8, 8)))
+            assert model(x).dtype == dtype
+            assert model.eval()(x).dtype == dtype
+
+    def test_training_step_keeps_param_dtype(self, dtype):
+        from repro.nn import Trainer
+
+        with default_dtype(dtype):
+            data = tiny_dataset(num_classes=4, num_samples=32, image_size=8, seed=0)
+            model = resnet8(num_classes=4)
+            # Several steps so the cosine schedule's lr updates are exercised
+            # (a non-python-float lr would promote every parameter).
+            Trainer(lr=0.05, batch_size=16, seed=0).fit(model, data, epochs=2)
+            for name, p in model.named_parameters():
+                assert p.dtype == dtype, name
+
+
+class TestOpDtypes:
+    def test_dropout_mask_follows_input_dtype(self, rng):
+        for dtype in (np.float32, np.float64):
+            x = Tensor(rng.normal(size=(4, 8)), dtype=dtype)
+            out = F.dropout(x, p=0.5, training=True, rng=np.random.default_rng(0))
+            assert out.dtype == dtype
+
+    def test_batch_norm_eval_scale_shift_follow_input_dtype(self, rng):
+        for dtype in (np.float32, np.float64):
+            with default_dtype(dtype):
+                bn = BatchNorm2d(5).eval()
+                out = bn(Tensor(rng.normal(size=(2, 5, 3, 3))))
+                assert out.dtype == dtype
+
+    def test_batch_norm_running_stats_keep_dtype(self, rng):
+        bn = BatchNorm2d(5)
+        assert bn.running_mean.dtype == np.float32
+        bn(Tensor(rng.normal(size=(4, 5, 3, 3))))
+        assert bn.running_mean.dtype == np.float32
+        assert bn.running_var.dtype == np.float32
+
+    def test_dataset_images_follow_default_dtype(self):
+        assert tiny_dataset(num_samples=16).images.dtype == np.float32
+        with default_dtype(np.float64):
+            assert tiny_dataset(num_samples=16).images.dtype == np.float64
+
+    def test_load_state_dict_casts_to_param_dtype(self):
+        model = resnet8(num_classes=4)
+        state64 = {k: v.astype(np.float64) for k, v in model.state_dict().items()}
+        model.load_state_dict(state64)
+        for name, p in model.named_parameters():
+            assert p.dtype == np.float32, name

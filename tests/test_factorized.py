@@ -2,6 +2,7 @@
 
 
 import numpy as np
+import pytest
 
 from repro.compression.factorized import (
     BasisConv2d,
@@ -13,6 +14,9 @@ from repro.compression.hooi import tucker2
 from repro.models import vgg8_tiny
 from repro.nn import Tensor
 from repro.nn import functional as F
+
+# Factorised-vs-dense equivalence is asserted to ~1e-8, beyond float32.
+pytestmark = pytest.mark.usefixtures("float64_gradcheck")
 
 
 class TestTuckerConv2d:

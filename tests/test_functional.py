@@ -8,6 +8,9 @@ from repro.nn.tensor import Tensor
 
 from .conftest import numeric_gradient
 
+# Central-difference gradient checks need float64 precision.
+pytestmark = pytest.mark.usefixtures("float64_gradcheck")
+
 
 class TestConv2d:
     def test_output_shape(self, rng):

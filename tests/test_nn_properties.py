@@ -14,6 +14,7 @@ central differences probe every parameter entry.
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -21,6 +22,9 @@ from repro.nn import BatchNorm2d, Conv2d, Flatten, Linear, ReLU, Sequential, Ten
 from repro.nn.layers import GlobalAvgPool2d
 
 from .conftest import numeric_gradient
+
+# Central-difference gradient checks need float64 precision.
+pytestmark = pytest.mark.usefixtures("float64_gradcheck")
 
 
 def _loss(model, x_data):

@@ -1,0 +1,86 @@
+"""Semantics of the grad-free inference mode (repro.nn.no_grad).
+
+The fast path must be an *optimisation only*: forward values are bit-identical
+with and without the tape, the mode nests and survives exceptions, and calling
+``backward()`` inside it fails loudly instead of silently returning no
+gradients.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models import resnet8
+from repro.nn import Tensor, is_grad_enabled, no_grad
+from repro.nn import functional as F
+
+
+class TestForwardEquivalence:
+    def test_model_forward_bit_identical(self, rng):
+        model = resnet8(num_classes=4).eval()
+        x = rng.normal(size=(3, 3, 8, 8))
+        tape = model(Tensor(x)).data
+        with no_grad():
+            tapeless = model(Tensor(x)).data
+        np.testing.assert_array_equal(tape, tapeless)
+
+    def test_fused_ops_bit_identical(self, rng):
+        x = Tensor(rng.normal(size=(2, 4, 6, 6)))
+        w = Tensor(rng.normal(size=(4, 4, 3, 3)))
+        skip = Tensor(rng.normal(size=(2, 4, 6, 6)))
+        tape = F.add_relu(F.conv2d(x, w, stride=1, padding=1), skip).data
+        with no_grad():
+            tapeless = F.add_relu(F.conv2d(x, w, stride=1, padding=1), skip).data
+        np.testing.assert_array_equal(tape, tapeless)
+
+    def test_results_do_not_require_grad(self, rng):
+        x = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        with no_grad():
+            out = (x * 2.0).sum()
+        assert not out.requires_grad
+        assert out._parents == ()
+
+
+class TestModeManagement:
+    def test_flag_restored(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_nesting(self):
+        with no_grad():
+            with no_grad():
+                assert not is_grad_enabled()
+            # Inner exit must not prematurely re-enable gradients.
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_exception_safety(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
+    def test_inference_flag_mirrors_mode(self):
+        assert not Tensor.inference
+        with no_grad():
+            assert Tensor.inference
+        assert not Tensor.inference
+
+
+class TestBackwardGuard:
+    def test_backward_raises_inside_no_grad(self, rng):
+        x = Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+        with no_grad():
+            loss = (x * x).sum()
+            with pytest.raises(RuntimeError, match="no_grad"):
+                loss.backward()
+
+    def test_training_unaffected_after_inference(self, rng):
+        # Gradients computed after leaving no_grad must be intact.
+        x = Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+        with no_grad():
+            (x * x).sum()
+        loss = (x * x).sum()
+        loss.backward()
+        np.testing.assert_allclose(x.grad, 2.0 * x.data, rtol=1e-6)

@@ -18,7 +18,12 @@ from repro.nn import (
 class TestCounting:
     def test_linear_flops_exact(self):
         layer = Sequential(Linear(10, 5))
-        # 2 * in * out per sample
+        # 2 * in * out per sample, plus one add per output for the bias
+        # (counted the same way as conv2d's bias).
+        assert count_flops(layer, (10,)) == 2 * 10 * 5 + 5
+
+    def test_linear_without_bias_flops_exact(self):
+        layer = Sequential(Linear(10, 5, bias=False))
         assert count_flops(layer, (10,)) == 2 * 10 * 5
 
     def test_conv_flops_exact(self):

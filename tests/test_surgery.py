@@ -71,7 +71,9 @@ class TestPruneUnit:
         keep = np.setdiff1d(np.arange(unit.out_channels), dead)
         prune_unit(unit, keep)
         after = model(Tensor(x)).data
-        np.testing.assert_allclose(before, after, atol=1e-8)
+        # Pruned channels are exactly zero, but removing them changes the
+        # float32 summation order downstream — allow that much noise.
+        np.testing.assert_allclose(before, after, atol=1e-6)
 
 
 class TestGlobalPlanning:

@@ -10,6 +10,9 @@ from repro.nn.tensor import Tensor, concat, stack, where
 
 from .conftest import numeric_gradient
 
+# Central-difference gradient checks need float64 precision.
+pytestmark = pytest.mark.usefixtures("float64_gradcheck")
+
 
 def _finite_arrays(shape=(3, 4)):
     return arrays(
