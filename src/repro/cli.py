@@ -9,6 +9,7 @@ inspect      print the search-space / knowledge-graph inventory
 analyze      statically verify models / checkpoints / schemes
 trace        summarize a JSONL run journal (see ``search --journal``)
 bench        time the repro.nn hot-path kernels against the committed baseline
+cache        inspect / prune the persistent result cache (``--cache-dir``)
 """
 
 from __future__ import annotations
@@ -32,6 +33,7 @@ def _config(args) -> "ExperimentConfig":
         seed=args.seed,
         workers=getattr(args, "workers", 0),
         cache_dir=getattr(args, "cache_dir", None),
+        snapshot_dir=getattr(args, "snapshot_dir", None),
         journal=getattr(args, "journal", None),
     )
 
@@ -47,8 +49,14 @@ def cmd_search(args) -> int:
         print(
             f"engine: {stats['workers']} workers, "
             f"{stats['fresh_evaluations']} fresh evaluations, "
-            f"{stats['cache_hits']} persistent-cache hits"
+            f"{stats['cache_hits']} persistent-cache hits, "
+            f"{stats['steps_replayed']} steps replayed"
         )
+        if stats.get("snapshot_hits"):
+            print(
+                f"snapshots: {stats['snapshot_hits']} prefix resumes, "
+                f"{stats['snapshot_steps_saved']} replay steps saved"
+            )
     print()
     print(f"Pareto schemes with PR >= {result.gamma:.0%}:")
     for r in sorted(result.pareto, key=lambda r: r.pr):
@@ -228,6 +236,34 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def _format_cache_stats(stats: dict) -> str:
+    lines = [f"cache {stats['cache_dir']}: "
+             f"{stats['entries']} entries, {stats['bytes'] / 1e6:.2f} MB"]
+    for fp in stats["fingerprints"]:
+        lines.append(
+            f"  {fp['root']}: {fp['entries']} entries, {fp['bytes'] / 1e6:.2f} MB"
+        )
+    if "removed" in stats:
+        lines.append(f"removed {stats['removed']} entries")
+    return "\n".join(lines)
+
+
+def cmd_cache(args) -> int:
+    import json
+
+    from .core.engine import cache_stats, prune_cache
+
+    if args.cache_command == "prune":
+        stats = prune_cache(args.cache_dir, args.max_entries)
+    else:
+        stats = cache_stats(args.cache_dir)
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+    else:
+        print(_format_cache_stats(stats))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -244,6 +280,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", dest="cache_dir", default=None,
                    help="persistent result cache; repeated runs skip "
                         "already-evaluated schemes")
+    p.add_argument("--snapshot-dir", dest="snapshot_dir", default=None,
+                   help="shared prefix-model snapshot store; workers and "
+                        "repeated runs resume trained prefixes instead of "
+                        "replaying them (results unchanged)")
     p.add_argument("--journal", default=None,
                    help="stream spans/events of the run to this JSONL journal "
                         "(summarize afterwards with 'repro trace summarize')")
@@ -331,6 +371,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", default=None,
                    help="also write the JSON report here (e.g. BENCH_nn.json)")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "cache",
+        help="inspect / prune the persistent result cache",
+        description="Maintenance for the engine's on-disk result cache "
+                    "(the directory passed as --cache-dir / cache_dir=). "
+                    "'stats' reports per-fingerprint entry/byte counts; "
+                    "'prune' keeps the newest N results per fingerprint.",
+    )
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    ps = cache_sub.add_parser("stats", help="report cache size per fingerprint")
+    ps.add_argument("cache_dir", help="the engine's cache directory")
+    ps.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+    ps.set_defaults(func=cmd_cache)
+    pp = cache_sub.add_parser("prune", help="drop oldest entries over a cap")
+    pp.add_argument("cache_dir", help="the engine's cache directory")
+    pp.add_argument("--max-entries", type=int, required=True,
+                    help="results to keep per fingerprint (oldest pruned first)")
+    pp.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+    pp.set_defaults(func=cmd_cache)
     return parser
 
 

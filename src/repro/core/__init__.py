@@ -3,7 +3,14 @@
 from .ablation import VARIANTS, build_variant
 from .api import AutoMC
 from .config import EvaluatorConfig
-from .engine import EvaluationEngine, ResultCache
+from .engine import (
+    EvaluationEngine,
+    ResultCache,
+    WorkerError,
+    cache_stats,
+    plan_prefix_groups,
+    prune_cache,
+)
 from .evaluator import (
     EvaluationResult,
     SchemeEvaluator,
@@ -22,6 +29,7 @@ from .pareto import (
 )
 from .progressive import ProgressiveConfig, ProgressiveSearch
 from .search import SearchResult, SearchStrategy, TrajectoryPoint
+from .snapshots import ModelSnapshot, ModelSnapshotStore
 
 __all__ = [
     "AutoMC",
@@ -31,6 +39,8 @@ __all__ = [
     "EvaluatorConfig",
     "Fmo",
     "FmoNetwork",
+    "ModelSnapshot",
+    "ModelSnapshotStore",
     "ProgressiveConfig",
     "ProgressiveSearch",
     "ResultCache",
@@ -41,11 +51,15 @@ __all__ = [
     "TrainingEvaluator",
     "TrajectoryPoint",
     "VARIANTS",
+    "WorkerError",
     "build_variant",
+    "cache_stats",
     "crowding_distance",
     "hypervolume_2d",
     "nondominated_sort",
     "pareto_indices",
     "pareto_mask",
+    "plan_prefix_groups",
+    "prune_cache",
     "select_diverse",
 ]

@@ -51,7 +51,12 @@ class AutoMC:
     across ``parallelism`` worker processes (0 = serial, with identical
     results), and evaluations persist under ``cache_dir`` so repeated runs
     with the same model/dataset/seed/config skip already-paid simulated
-    GPU-hours.
+    GPU-hours.  ``snapshot_dir`` adds the disk-backed
+    :class:`~repro.core.snapshots.ModelSnapshotStore`: trained prefix models
+    are shared across workers and runs, so siblings of an evaluated scheme
+    resume instead of replaying (results and charged costs are unchanged —
+    only wall-clock drops).  ``snapshot_budget_mb`` caps the store's on-disk
+    size (default 256 MB, LRU eviction).
 
     ``trace`` turns on the :mod:`repro.obs` observability layer: pass
     ``True`` for an in-memory :class:`~repro.obs.Tracer` (inspect
@@ -74,8 +79,19 @@ class AutoMC:
         seed: int = 0,
         parallelism: int = 0,
         cache_dir: Optional[str] = None,
+        snapshot_dir: Optional[str] = None,
+        snapshot_budget_mb: Optional[float] = None,
         trace: Union[None, bool, str, Tracer] = None,
     ):
+        if snapshot_dir is not None:
+            if not hasattr(evaluator, "set_snapshot_dir"):
+                raise ValueError(
+                    "snapshot_dir needs an evaluator with prefix-snapshot "
+                    "support (SurrogateEvaluator / TrainingEvaluator)"
+                )
+            # Before the engine wrap: workers rebuild evaluators from the
+            # config, so the store location must be recorded there.
+            evaluator.set_snapshot_dir(snapshot_dir, budget_mb=snapshot_budget_mb)
         if parallelism > 0 or cache_dir is not None:
             evaluator = EvaluationEngine(
                 evaluator, workers=parallelism, cache_dir=cache_dir

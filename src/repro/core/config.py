@@ -64,6 +64,12 @@ class EvaluatorConfig:
     seed: int = 0
     model_cache_size: Optional[int] = None   # backend default when None
     lint_schemes: bool = True
+    # Prefix-model snapshot store (repro.core.snapshots).  Presentation-layer
+    # knobs: resuming a snapshot is bit-identical to replaying the prefix, so
+    # neither field enters the fingerprint.  Carried in the config so engine
+    # workers rebuild evaluators that share the same on-disk store.
+    snapshot_dir: Optional[str] = field(default=None, compare=False)
+    snapshot_budget_mb: Optional[float] = field(default=None, compare=False)
     # training backend: live (picklable) datasets and trainer knobs
     train_data: Optional[object] = field(default=None, compare=False)
     val_data: Optional[object] = field(default=None, compare=False)

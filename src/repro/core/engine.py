@@ -6,25 +6,37 @@ strictly serial and their result cache dies with the process.  The
 :class:`EvaluationEngine` wraps any :class:`~repro.core.interface.Evaluator`
 and adds the two production-scale layers from the ROADMAP:
 
-* **Batched parallel dispatch** — ``evaluate_many(schemes)`` deduplicates,
-  lints every new scheme *before* any work is paid for, fans fresh
-  evaluations out across a ``multiprocessing`` pool (each worker rebuilds an
-  identical evaluator from the picklable
-  :class:`~repro.core.config.EvaluatorConfig`), and merges results back with
-  deterministic cost accounting.
+* **Prefix-affinity parallel dispatch** — ``evaluate_many(schemes)``
+  deduplicates, lints every new scheme *before* any work is paid for, then
+  groups fresh schemes by longest shared prefix and submits each group —
+  ordered shortest-first so later members resume hot state — to a sticky
+  worker lane (one single-process pool per worker, each rebuilt from the
+  picklable :class:`~repro.core.config.EvaluatorConfig`).  Completions are
+  streamed with ``as_completed`` and merged with deterministic cost
+  accounting.  Routing prefers the lane that last evaluated a scheme's
+  prefix, so worker-local model LRUs stay hot across rounds.
 * **Persistent result cache** — JSON files under ``cache_dir``, keyed by
   scheme identifier + the evaluator :meth:`fingerprint`, so repeated runs
-  skip already-paid simulated GPU-hours across processes.
+  skip already-paid simulated GPU-hours across processes.  Bounded by a
+  max-entries cap with oldest-first pruning (see ``repro cache``).
+* **Shared snapshot store** — with ``config.snapshot_dir`` set on the
+  wrapped evaluator, every worker lane consults the same disk-backed
+  :class:`~repro.core.snapshots.ModelSnapshotStore`, so a prefix trained by
+  one worker is resumed (not replayed) by every other worker, by recycled
+  pools, and by later runs.
 
 Determinism guarantee: a parallel run is *bit-identical* to a serial one.
 Per-step RNG seeds are derived from stable digests of sub-scheme
 identifiers (see :func:`~repro.core.evaluator.stable_hash`) and both the
 trainer and the accuracy surrogate are stateless per call, so a worker that
 full-replays a scheme from scratch produces exactly the floats a serial
-evaluator gets by resuming a cached prefix.  Charged costs depend only on
-the ``results`` history, not on model-LRU state: the engine merges worker
-results in input order using the same longest-paid-prefix formula the
-serial path uses, summing the same ``step_costs`` floats in the same order.
+evaluator gets by resuming a cached prefix (and vice versa — resuming a
+disk snapshot is bit-identical to replaying).  Charged costs depend only on
+the ``results`` history, not on model-LRU or snapshot state: the engine
+merges worker results in input order using the same longest-paid-prefix
+formula the serial path uses, summing the same ``step_costs`` floats in the
+same order — scheduling and snapshots change wall-clock, never results or
+charged costs.
 """
 
 from __future__ import annotations
@@ -34,8 +46,8 @@ import json
 import os
 import tempfile
 import traceback
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import asdict, dataclass
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
@@ -44,31 +56,41 @@ from ..obs import NULL_TRACER
 from ..space.scheme import CompressionScheme
 from .evaluator import EVAL_OVERHEAD_HOURS, EvaluationResult
 
+#: default ResultCache size cap (one JSON file per evaluated scheme)
+DEFAULT_CACHE_ENTRIES = 10_000
+
 
 class WorkerError(RuntimeError):
-    """A pool worker failed to evaluate a scheme.
+    """One or more pool workers failed to evaluate schemes in a batch.
 
-    Raised in the parent instead of the worker's bare (often unpicklable)
-    traceback surfacing through ``multiprocessing``.  Carries the scheme
-    identifier so searches and journals can attribute the failure, plus the
-    original exception type/message and the worker-side traceback text.
+    Raised in the parent instead of the workers' bare (often unpicklable)
+    tracebacks surfacing through ``multiprocessing``.  ``failures`` carries
+    *every* failure observed in the batch — not just the first — so searches
+    and journals can attribute all of them; the first failure's fields are
+    mirrored as top-level attributes for convenience.
     """
 
-    def __init__(
-        self,
-        scheme_id: str,
-        cause_type: str,
-        cause_message: str,
-        worker_traceback: str = "",
-    ):
-        self.scheme_id = scheme_id
-        self.cause_type = cause_type
-        self.cause_message = cause_message
-        self.worker_traceback = worker_traceback
-        message = f"worker evaluation of scheme {scheme_id!r} failed: {cause_type}: {cause_message}"
-        if worker_traceback:
-            message += f"\n--- worker traceback ---\n{worker_traceback}"
-        super().__init__(message)
+    def __init__(self, failures: Sequence["_WorkerFailure"]):
+        self.failures = list(failures)
+        if not self.failures:
+            raise ValueError("WorkerError needs at least one failure")
+        first = self.failures[0]
+        self.scheme_id = first.scheme_id
+        self.cause_type = first.cause_type
+        self.cause_message = first.cause_message
+        self.worker_traceback = first.worker_traceback
+        lines = [
+            f"worker evaluation failed for {len(self.failures)} scheme(s):"
+        ]
+        for failure in self.failures:
+            lines.append(
+                f"  {failure.scheme_id!r}: {failure.cause_type}: {failure.cause_message}"
+            )
+        for failure in self.failures:
+            if failure.worker_traceback:
+                lines.append(f"--- worker traceback ({failure.scheme_id!r}) ---")
+                lines.append(failure.worker_traceback)
+        super().__init__("\n".join(lines))
 
 
 # ---------------------------------------------------------------------------
@@ -94,18 +116,113 @@ class _WorkerFailure:
     worker_traceback: str
 
 
-def _worker_evaluate(scheme: CompressionScheme):
-    """Evaluate one scheme in a worker.  The worker keeps its own result /
-    model caches across tasks; determinism makes prefix-resume equivalent to
-    full replay, and the parent recomputes charged costs at merge time.
-    Exceptions are captured as :class:`_WorkerFailure` so the parent can
-    raise a typed :class:`WorkerError` instead of a bare pool traceback."""
-    try:
-        return _WORKER_EVALUATOR.evaluate(scheme)
-    except Exception as exc:
-        return _WorkerFailure(
-            scheme.identifier, type(exc).__name__, str(exc), traceback.format_exc()
-        )
+@dataclass
+class _GroupOutcome:
+    """Picklable result of one prefix group: per-scheme outcomes + stats.
+
+    ``outcomes`` aligns with the submitted group; entries are either
+    :class:`~repro.core.evaluator.EvaluationResult` or :class:`_WorkerFailure`
+    (a failure does not abort the rest of the group — later members simply
+    replay from the deepest snapshot that does exist).
+    """
+
+    outcomes: List[object] = field(default_factory=list)
+    steps_executed: int = 0
+    snapshot_hits: int = 0
+    snapshot_steps_saved: int = 0
+
+
+def _worker_evaluate_group(schemes: Sequence[CompressionScheme]) -> _GroupOutcome:
+    """Evaluate one prefix group, shortest-first, in a single worker.
+
+    Running the whole group in one process is what makes routing *sticky*:
+    every member after the first resumes from the worker's in-memory model
+    LRU (or the shared disk snapshot store), populated by its predecessors.
+    The worker keeps its caches across tasks; determinism makes prefix
+    resume equivalent to full replay, and the parent recomputes charged
+    costs at merge time.  Exceptions are captured per scheme so the parent
+    can aggregate them into one typed :class:`WorkerError`.
+    """
+    evaluator = _WORKER_EVALUATOR
+    steps0 = evaluator.steps_executed
+    hits0 = evaluator.snapshot_hits
+    saved0 = evaluator.snapshot_steps_saved
+    group = _GroupOutcome()
+    for scheme in schemes:
+        try:
+            group.outcomes.append(evaluator.evaluate(scheme))
+        except Exception as exc:
+            group.outcomes.append(
+                _WorkerFailure(
+                    scheme.identifier, type(exc).__name__, str(exc),
+                    traceback.format_exc(),
+                )
+            )
+    group.steps_executed = evaluator.steps_executed - steps0
+    group.snapshot_hits = evaluator.snapshot_hits - hits0
+    group.snapshot_steps_saved = evaluator.snapshot_steps_saved - saved0
+    return group
+
+
+# ---------------------------------------------------------------------------
+# prefix-affinity scheduling
+# ---------------------------------------------------------------------------
+
+
+def _common_prefix_length(a: CompressionScheme, b: CompressionScheme) -> int:
+    """Number of leading strategies shared by two schemes."""
+    shared = 0
+    for sa, sb in zip(a.strategies, b.strategies):
+        if sa.identifier != sb.identifier:
+            break
+        shared += 1
+    return shared
+
+
+def plan_prefix_groups(
+    schemes: Sequence[CompressionScheme], max_group: Optional[int] = None
+) -> List[List[CompressionScheme]]:
+    """Partition a batch into prefix-sharing groups, shortest-first.
+
+    Schemes connected by a non-empty shared prefix (directly or through a
+    chain of siblings) land in the same group, ordered shortest-first so a
+    group's later members resume the hot state its earlier members leave in
+    the worker's model LRU / snapshot store.  Unrelated schemes become
+    singleton groups to maximise parallelism.  ``max_group`` splits
+    oversized components into contiguous chunks so one giant family cannot
+    serialise the whole batch onto a single lane.  Deterministic: a pure
+    function of the input order.
+    """
+    schemes = list(schemes)
+    parent = list(range(len(schemes)))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    for i in range(len(schemes)):
+        for j in range(i + 1, len(schemes)):
+            if _common_prefix_length(schemes[i], schemes[j]) >= 1:
+                ri, rj = find(i), find(j)
+                if ri != rj:
+                    parent[max(ri, rj)] = min(ri, rj)
+
+    components: Dict[int, List[int]] = {}
+    for i in range(len(schemes)):
+        components.setdefault(find(i), []).append(i)
+
+    groups: List[List[CompressionScheme]] = []
+    for root in sorted(components):
+        members = sorted(components[root], key=lambda i: (schemes[i].length, i))
+        ordered = [schemes[i] for i in members]
+        if max_group is None or max_group <= 0:
+            groups.append(ordered)
+        else:
+            for start in range(0, len(ordered), max_group):
+                groups.append(ordered[start:start + max_group])
+    return groups
 
 
 # ---------------------------------------------------------------------------
@@ -121,12 +238,23 @@ class ResultCache:
     and lets concurrent runs share a directory without locking.  JSON floats
     round-trip exactly (``repr`` based), so a cache hit reproduces the
     original result bit-for-bit.
+
+    ``max_entries`` caps the number of result files in this fingerprint's
+    directory; when a put pushes past it, the oldest entries (file mtime,
+    refreshed on every hit) are pruned first.  ``None`` disables the cap.
     """
 
-    def __init__(self, cache_dir, fingerprint: str):
+    def __init__(
+        self,
+        cache_dir,
+        fingerprint: str,
+        max_entries: Optional[int] = DEFAULT_CACHE_ENTRIES,
+    ):
         self.root = Path(cache_dir) / fingerprint[:16]
         self.fingerprint = fingerprint
+        self.max_entries = max_entries
         self.root.mkdir(parents=True, exist_ok=True)
+        self._entry_count: Optional[int] = None  # lazy; maintained on put
 
     def _path(self, identifier: str) -> Path:
         digest = hashlib.sha256(identifier.encode("utf-8")).hexdigest()[:24]
@@ -140,6 +268,10 @@ class ResultCache:
             return None
         if payload.get("identifier") != scheme.identifier:  # digest collision
             return None
+        try:
+            os.utime(path)  # mark as recently used for oldest-first pruning
+        except OSError:
+            pass
         return EvaluationResult(
             scheme=scheme,
             params=payload["params"],
@@ -167,6 +299,7 @@ class ResultCache:
             "step_reports": [asdict(r) for r in result.step_reports],
         }
         path = self._path(result.scheme.identifier)
+        existed = path.exists()
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as handle:
@@ -178,6 +311,114 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        if not existed:
+            if self._entry_count is None:
+                self._entry_count = _count_results(self.root)
+            else:
+                self._entry_count += 1
+            if self.max_entries is not None and self._entry_count > self.max_entries:
+                removed = _prune_dir(self.root, self.max_entries, keep=path)
+                self._entry_count -= removed
+
+    def stats(self) -> dict:
+        """Point-in-time accounting for this fingerprint's cache directory."""
+        return _dir_stats(self.root)
+
+
+# -- cache maintenance (shared by ResultCache and the `repro cache` CLI) ----
+
+
+def _result_entries(root: Path):
+    """(mtime, size, path) for every result JSON under ``root``, oldest first."""
+    entries = []
+    try:
+        names = os.listdir(root)
+    except OSError:
+        return []
+    for name in names:
+        if not name.endswith(".json"):
+            continue
+        path = Path(root) / name
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        entries.append((stat.st_mtime, stat.st_size, path))
+    entries.sort(key=lambda e: (e[0], e[2].name))
+    return entries
+
+
+def _count_results(root: Path) -> int:
+    try:
+        return sum(1 for name in os.listdir(root) if name.endswith(".json"))
+    except OSError:
+        return 0
+
+
+def _dir_stats(root: Path) -> dict:
+    entries = _result_entries(root)
+    return {
+        "root": str(root),
+        "entries": len(entries),
+        "bytes": sum(size for _, size, _ in entries),
+    }
+
+
+def _prune_dir(root: Path, max_entries: int, keep: Optional[Path] = None) -> int:
+    """Delete oldest result files until at most ``max_entries`` remain.
+
+    ``keep`` (the entry just written) is never deleted.  Returns the number
+    of files actually removed.
+    """
+    entries = _result_entries(root)
+    removed = 0
+    excess = len(entries) - max(0, max_entries)
+    for _, _, path in entries:
+        if excess <= 0:
+            break
+        if keep is not None and path == keep:
+            continue
+        try:
+            path.unlink()
+        except OSError:
+            continue
+        removed += 1
+        excess -= 1
+    return removed
+
+
+def cache_stats(cache_dir) -> dict:
+    """Aggregate accounting for every fingerprint directory under ``cache_dir``."""
+    cache_dir = Path(cache_dir)
+    fingerprints = []
+    if cache_dir.is_dir():
+        for child in sorted(cache_dir.iterdir()):
+            if child.is_dir():
+                fingerprints.append(_dir_stats(child))
+    return {
+        "cache_dir": str(cache_dir),
+        "fingerprints": fingerprints,
+        "entries": sum(f["entries"] for f in fingerprints),
+        "bytes": sum(f["bytes"] for f in fingerprints),
+    }
+
+
+def prune_cache(cache_dir, max_entries: int) -> dict:
+    """Prune every fingerprint directory to ``max_entries`` results, oldest first.
+
+    The cap applies *per fingerprint* (matching ``ResultCache``'s own cap, so
+    one busy configuration cannot starve another's cache).  Returns the
+    post-prune :func:`cache_stats` with a ``removed`` total added.
+    """
+    cache_dir = Path(cache_dir)
+    removed = 0
+    if cache_dir.is_dir():
+        for child in sorted(cache_dir.iterdir()):
+            if child.is_dir():
+                removed += _prune_dir(child, max_entries)
+    stats = cache_stats(cache_dir)
+    stats["removed"] = removed
+    return stats
 
 
 # ---------------------------------------------------------------------------
@@ -191,20 +432,36 @@ class EvaluationEngine:
 
     ``workers=0`` evaluates serially in-process (still gaining dedup, batch
     linting and the disk cache); ``workers=N`` fans fresh evaluations out to
-    ``N`` processes.  Parallel dispatch needs ``evaluator.config`` to be
-    rebuildable in a fresh process (registry ``model_name`` + picklable
-    task/datasets) and raises ``ValueError`` at construction otherwise.
+    ``N`` single-process worker *lanes*.  Parallel dispatch needs
+    ``evaluator.config`` to be rebuildable in a fresh process (registry
+    ``model_name`` + picklable task/datasets) and raises ``ValueError`` at
+    construction otherwise.
+
+    ``prefix_affinity=True`` (default) groups fresh schemes by shared prefix
+    and routes each group to the lane that last evaluated its prefix, so
+    worker model LRUs stay hot; ``False`` restores the flat round-robin
+    dispatch (one scheme per task, least-loaded lane) — same results, more
+    replayed steps.  ``cache_entries`` caps the persistent result cache
+    (``None`` → :data:`DEFAULT_CACHE_ENTRIES`).
 
     All other attribute access falls through to the wrapped evaluator, so
     search strategies can treat an engine exactly like the evaluator it
     wraps (``task``, ``pareto_results``, ``base_accuracy``, ...).
     """
 
-    def __init__(self, evaluator, workers: int = 0, cache_dir=None):
+    def __init__(
+        self,
+        evaluator,
+        workers: int = 0,
+        cache_dir=None,
+        cache_entries: Optional[int] = None,
+        prefix_affinity: bool = True,
+    ):
         if workers < 0:
             raise ValueError("workers must be >= 0")
         self.evaluator = evaluator
         self.workers = workers
+        self.prefix_affinity = prefix_affinity
         if workers > 0:
             config = getattr(evaluator, "config", None)
             if config is None or not config.is_buildable:
@@ -213,13 +470,46 @@ class EvaluationEngine:
                     "rebuilt in a fresh process: a registry model_name plus a "
                     "picklable task (surrogate) or datasets (training)"
                 )
-        self.cache = ResultCache(cache_dir, evaluator.fingerprint()) if cache_dir else None
+        self.cache = (
+            ResultCache(
+                cache_dir,
+                evaluator.fingerprint(),
+                max_entries=DEFAULT_CACHE_ENTRIES if cache_entries is None else cache_entries,
+            )
+            if cache_dir
+            else None
+        )
         self.cache_hits = 0
         self.fresh_evaluations = 0
         self.worker_failures = 0
+        # worker-side accumulators (the wrapped evaluator counts its own)
+        self._worker_steps = 0
+        self._worker_snapshot_hits = 0
+        self._worker_snapshot_steps_saved = 0
         #: shared with the wrapped evaluator via obs.attach_tracer
         self.tracer = getattr(evaluator, "tracer", NULL_TRACER)
-        self._pool: Optional[ProcessPoolExecutor] = None
+        self._lanes: Optional[List[ProcessPoolExecutor]] = None
+        self._lane_pending: List[int] = []
+        self._lane_of: Dict[str, int] = {}  # scheme identifier → lane index
+
+    # -- engine-wide prefix-reuse stats ------------------------------------
+    @property
+    def steps_replayed(self) -> int:
+        """Training/surgery steps actually executed (serial + all lanes)."""
+        return getattr(self.evaluator, "steps_executed", 0) + self._worker_steps
+
+    @property
+    def snapshot_hits(self) -> int:
+        """Disk-snapshot resumes observed across the serial path and lanes."""
+        return getattr(self.evaluator, "snapshot_hits", 0) + self._worker_snapshot_hits
+
+    @property
+    def snapshot_steps_saved(self) -> int:
+        """Prefix steps skipped thanks to disk snapshots (serial + lanes)."""
+        return (
+            getattr(self.evaluator, "snapshot_steps_saved", 0)
+            + self._worker_snapshot_steps_saved
+        )
 
     # -- Evaluator protocol ------------------------------------------------
     @property
@@ -315,27 +605,33 @@ class EvaluationEngine:
                     self.cache.put(evaluator.results[scheme.identifier])
             return
 
-        raw = list(self._pool_handle().map(_worker_evaluate, fresh, chunksize=1))
+        outcomes = self._dispatch(fresh)
+
         # Merge in input order with the serial charging formula: overhead +
         # the step costs beyond the longest prefix already in `results`.
-        # Identical float-addition order to SchemeEvaluator._charge.
+        # Identical float-addition order to SchemeEvaluator._charge.  The
+        # scheduler only reorders *execution*; merging strictly in input
+        # order keeps charged costs bit-identical to a serial run.
         tracer = self.tracer
-        for scheme, result in zip(fresh, raw):
-            if isinstance(result, _WorkerFailure):
-                self.worker_failures += 1
-                if tracer.enabled:
+        failures = [
+            outcomes[s.identifier]
+            for s in fresh
+            if isinstance(outcomes[s.identifier], _WorkerFailure)
+        ]
+        if failures:
+            self.worker_failures += len(failures)
+            if tracer.enabled:
+                for failure in failures:
                     tracer.event(
                         "worker_failed",
-                        scheme=result.scheme_id,
-                        error=f"{result.cause_type}: {result.cause_message}",
+                        scheme=failure.scheme_id,
+                        error=f"{failure.cause_type}: {failure.cause_message}",
                     )
                     tracer.metrics.counter("worker_failures").inc()
-                raise WorkerError(
-                    result.scheme_id,
-                    result.cause_type,
-                    result.cause_message,
-                    result.worker_traceback,
-                )
+            raise WorkerError(failures)
+
+        for scheme in fresh:
+            result = outcomes[scheme.identifier]
             paid = evaluator._longest_paid_prefix(scheme)
             cost = EVAL_OVERHEAD_HOURS
             for step_cost in result.step_costs[paid:]:
@@ -359,21 +655,108 @@ class EvaluationEngine:
             if self.cache:
                 self.cache.put(result)
 
-    def _pool_handle(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.workers,
-                initializer=_init_worker,
-                initargs=(self.evaluator.config,),
+    def _dispatch(self, fresh: List[CompressionScheme]) -> Dict[str, object]:
+        """Submit fresh schemes to worker lanes; stream completions back.
+
+        With prefix affinity on, the batch is partitioned by
+        :func:`plan_prefix_groups` (chunked so the largest family cannot
+        monopolise a lane) and each group runs as *one* task on its routed
+        lane — same process end to end, so later members resume earlier
+        members' models.  With affinity off, every scheme is its own
+        singleton group on the least-loaded lane (flat dispatch).  Returns
+        ``{identifier: EvaluationResult | _WorkerFailure}``; completion
+        *order* is timing-dependent but the caller merges in input order.
+        """
+        tracer = self.tracer
+        if self.prefix_affinity:
+            max_group = -(-len(fresh) // self.workers)  # ceil; balance lanes
+            groups = plan_prefix_groups(fresh, max_group=max_group)
+        else:
+            groups = [[scheme] for scheme in fresh]
+        if tracer.enabled:
+            span = tracer.start(
+                "engine.schedule",
+                fresh=len(fresh),
+                groups=len(groups),
+                affinity=self.prefix_affinity,
             )
-        return self._pool
+            tracer.finish(span)
+
+        lanes = self._lane_handles()
+        pending: Dict[object, tuple] = {}  # future → (group, lane index)
+        for group in groups:
+            lane = self._route(group)
+            self._lane_pending[lane] += len(group)
+            pending[lanes[lane].submit(_worker_evaluate_group, group)] = (group, lane)
+
+        outcomes: Dict[str, object] = {}
+        try:
+            while pending:
+                done, _ = wait(list(pending), return_when=FIRST_COMPLETED)
+                for future in done:
+                    group, lane = pending.pop(future)
+                    self._lane_pending[lane] -= len(group)
+                    result = future.result()  # lane death → raises here
+                    for scheme, outcome in zip(group, result.outcomes):
+                        outcomes[scheme.identifier] = outcome
+                        if not isinstance(outcome, _WorkerFailure):
+                            self._lane_of[scheme.identifier] = lane
+                    self._worker_steps += result.steps_executed
+                    self._worker_snapshot_hits += result.snapshot_hits
+                    self._worker_snapshot_steps_saved += result.snapshot_steps_saved
+                    if tracer.enabled and result.snapshot_hits:
+                        tracer.metrics.counter("engine.snapshot_hits").inc(
+                            result.snapshot_hits
+                        )
+        except BaseException:
+            for future in pending:
+                future.cancel()
+            raise
+        return outcomes
+
+    def _route(self, group: List[CompressionScheme]) -> int:
+        """Pick a lane: deepest-known-prefix affinity, least-loaded fallback.
+
+        The lane that most recently evaluated the group head's longest known
+        prefix already holds (or recently held) that model in its LRU.  A
+        lane more than one group behind the least-loaded lane forfeits its
+        affinity — the snapshot store makes a cold lane only moderately
+        slower, while an idle lane is free parallelism.
+        """
+        least = min(range(self.workers), key=lambda i: (self._lane_pending[i], i))
+        head = group[0]
+        for length in range(head.length - 1, 0, -1):
+            preferred = self._lane_of.get(head.prefix(length).identifier)
+            if preferred is not None:
+                if self._lane_pending[preferred] > self._lane_pending[least] + 1:
+                    return least
+                return preferred
+        return least
+
+    def _lane_handles(self) -> List[ProcessPoolExecutor]:
+        if self._lanes is None:
+            self._lanes = [
+                ProcessPoolExecutor(
+                    max_workers=1,
+                    initializer=_init_worker,
+                    initargs=(self.evaluator.config,),
+                )
+                for _ in range(self.workers)
+            ]
+            self._lane_pending = [0] * self.workers
+        return self._lanes
 
     # -- lifecycle ---------------------------------------------------------
     def close(self) -> None:
-        """Shut the worker pool down (idempotent; a later batch re-creates it)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Shut all worker lanes down (idempotent; a later batch re-creates
+        them).  Lane affinity is forgotten — fresh lanes have cold LRUs, and
+        only the disk snapshot store survives."""
+        if self._lanes is not None:
+            for lane in self._lanes:
+                lane.shutdown(wait=True)
+            self._lanes = None
+            self._lane_pending = []
+            self._lane_of = {}
 
     def __enter__(self) -> "EvaluationEngine":
         return self

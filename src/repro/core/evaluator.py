@@ -13,7 +13,14 @@ protocol):
 
 Both cache results by scheme identifier and keep an LRU of compressed model
 snapshots so progressive search can extend an evaluated scheme without
-re-running its prefix.  Every evaluation also charges a *simulated GPU-hour*
+re-running its prefix.  With ``config.snapshot_dir`` set, a disk-backed
+:class:`~repro.core.snapshots.ModelSnapshotStore` acts as a second tier
+below the in-memory LRU: trained prefix states survive across worker
+processes, pool recycles and whole runs, and every prefix reached during a
+replay is snapshotted so siblings resume instead of replaying.  Resuming is
+bit-identical to replaying (per-step seeds derive from stable sub-scheme
+digests), so the store changes wall-clock only — never results or charged
+costs.  Every evaluation also charges a *simulated GPU-hour*
 cost — the common currency that gives all AutoML baselines equal budgets
 (§4.1 "control the running time of each algorithm to be the same").
 
@@ -47,6 +54,7 @@ from ..obs import NULL_TRACER
 from ..sim.accuracy import AccuracyModel
 from ..space.scheme import CompressionScheme
 from .config import EvaluatorConfig, coerce_config
+from .snapshots import ModelSnapshot, ModelSnapshotStore
 
 #: simulated GPU-hours per (epoch x GFLOP x full-dataset) of training
 EPOCH_COST_HOURS = 0.01
@@ -138,26 +146,126 @@ class SchemeEvaluator:
         self.lint_schemes = config.lint_schemes
         self.rejected_count = 0
         self.rejected: Dict[str, Report] = {}
-        self._model_cache: "OrderedDict[str, Tuple[Module, float]]" = OrderedDict()
+        self._model_cache: "OrderedDict[str, ModelSnapshot]" = OrderedDict()
         self._model_cache_size = config.model_cache_size
         self._fingerprint: Optional[str] = None
         #: observability hook (see repro.obs); NULL_TRACER keeps the
         #: uninstrumented hot path to a single attribute check
         self.tracer = NULL_TRACER
+        #: strategy steps actually executed (replay work; resumed steps skip)
+        self.steps_executed = 0
+        #: disk snapshot-store accounting (zero when no store is configured)
+        self.snapshot_hits = 0
+        self.snapshot_misses = 0
+        self.snapshot_steps_saved = 0
+        self._snapshot_store: Optional[ModelSnapshotStore] = None
+        self._snapshot_store_ready = False
 
-    # -- model snapshot LRU ------------------------------------------------
-    def _cache_model(self, key: str, model: Module, accuracy: float) -> None:
-        self._model_cache[key] = (model, accuracy)
+    # -- model snapshot tiers ----------------------------------------------
+    @property
+    def snapshot_store(self) -> Optional[ModelSnapshotStore]:
+        """The disk tier, built lazily (the fingerprint needs base profiling)."""
+        if not self._snapshot_store_ready:
+            self._snapshot_store_ready = True
+            if self.config.snapshot_dir is not None:
+                budget = self.config.snapshot_budget_mb
+                self._snapshot_store = ModelSnapshotStore(
+                    self.config.snapshot_dir,
+                    self.fingerprint(),
+                    budget_bytes=None if budget is None else int(budget * 1024 * 1024),
+                )
+        return self._snapshot_store
+
+    def set_snapshot_dir(self, snapshot_dir, budget_mb: Optional[float] = None) -> None:
+        """(Re)configure the disk snapshot tier after construction.
+
+        Updates ``config`` too, so engine workers rebuilt from it share the
+        same store directory.
+        """
+        self.config = replace(
+            self.config,
+            snapshot_dir=None if snapshot_dir is None else str(snapshot_dir),
+            snapshot_budget_mb=budget_mb,
+        )
+        self._snapshot_store = None
+        self._snapshot_store_ready = False
+
+    def _cache_model(
+        self,
+        key: str,
+        model: Module,
+        accuracy: float,
+        step_reports: Sequence[StepReport] = (),
+        step_costs: Sequence[float] = (),
+        persist: bool = True,
+    ) -> None:
+        snapshot = ModelSnapshot(
+            identifier=key,
+            model=model,
+            accuracy=accuracy,
+            step_reports=list(step_reports),
+            step_costs=list(step_costs),
+        )
+        self._model_cache[key] = snapshot
         self._model_cache.move_to_end(key)
         while len(self._model_cache) > self._model_cache_size:
             self._model_cache.popitem(last=False)
+        store = self.snapshot_store
+        if persist and store is not None:
+            tracer = self.tracer
+            if tracer.enabled:
+                before = store.bytes_written
+                with tracer.span("snapshot.save", prefix=key):
+                    store.put(snapshot)
+                tracer.metrics.counter("snapshot.bytes_written").inc(
+                    store.bytes_written - before
+                )
+            else:
+                store.put(snapshot)
 
-    def _longest_cached_prefix(self, scheme: CompressionScheme) -> int:
+    def _longest_cached_prefix(
+        self, scheme: CompressionScheme
+    ) -> Tuple[int, Optional[ModelSnapshot]]:
+        """Longest resumable proper prefix: in-memory LRU first, disk second.
+
+        A disk hit is adopted into the memory LRU (without re-persisting), so
+        sibling evaluations in the same process pay the unpickle once.
+        """
+        store = self.snapshot_store
         for length in range(scheme.length - 1, 0, -1):
-            if scheme.prefix(length).identifier in self._model_cache:
-                self._model_cache.move_to_end(scheme.prefix(length).identifier)
-                return length
-        return 0
+            identifier = scheme.prefix(length).identifier
+            snapshot = self._model_cache.get(identifier)
+            if snapshot is not None:
+                self._model_cache.move_to_end(identifier)
+                return length, snapshot
+            if store is not None and identifier in store:
+                tracer = self.tracer
+                if tracer.enabled:
+                    with tracer.span("snapshot.load", prefix=identifier, steps=length):
+                        snapshot = store.get(identifier)
+                else:
+                    snapshot = store.get(identifier)
+                if snapshot is not None:
+                    self.snapshot_hits += 1
+                    self.snapshot_steps_saved += length
+                    if tracer.enabled:
+                        tracer.event("snapshot_hit", prefix=identifier, steps=length)
+                        tracer.metrics.counter("snapshot.hits").inc()
+                        tracer.metrics.counter("snapshot.steps_saved").inc(length)
+                    self._cache_model(
+                        identifier,
+                        snapshot.model,
+                        snapshot.accuracy,
+                        snapshot.step_reports,
+                        snapshot.step_costs,
+                        persist=False,
+                    )
+                    return length, snapshot
+        if store is not None and scheme.length > 1:
+            self.snapshot_misses += 1
+            if self.tracer.enabled:
+                self.tracer.metrics.counter("snapshot.misses").inc()
+        return 0, None
 
     def _longest_paid_prefix(self, scheme: CompressionScheme) -> int:
         """Longest proper prefix whose evaluation is already in ``results``."""
@@ -344,17 +452,16 @@ class TrainingEvaluator(SchemeEvaluator):
         super().__init__(task, config=replace(config, task=task))
 
     def _evaluate(self, scheme: CompressionScheme) -> EvaluationResult:
-        prefix_len = self._longest_cached_prefix(scheme)
-        if prefix_len:
-            model, _ = self._model_cache[scheme.prefix(prefix_len).identifier]
-            model = copy.deepcopy(model)
-            prior = self.results[scheme.prefix(prefix_len).identifier]
-            reports = list(prior.step_reports)
-            step_costs = list(prior.step_costs)
+        prefix_len, snapshot = self._longest_cached_prefix(scheme)
+        if snapshot is not None:
+            model = copy.deepcopy(snapshot.model)
+            reports = list(snapshot.step_reports)
+            step_costs = list(snapshot.step_costs)
         else:
             model = copy.deepcopy(self._base_model)
             reports, step_costs = [], []
 
+        snapshotting = self.snapshot_store is not None
         for position in range(prefix_len, scheme.length):
             strategy = scheme.strategies[position]
             ctx = ExecutionContext(
@@ -367,14 +474,27 @@ class TrainingEvaluator(SchemeEvaluator):
                 seed=self.seed + stable_hash(scheme.prefix(position + 1).identifier) % 10_000,
             )
             report = strategy.method.apply(model, strategy.hp, ctx)
+            self.steps_executed += 1
             reports.append(report)
             profile = profile_model(model, self._input_shape)
             step_costs.append(_step_cost(report, profile.flops / 1e9, 1.0))
+            if snapshotting and position + 1 < scheme.length:
+                # Snapshot the intermediate prefix so siblings (this process
+                # or any worker sharing the store) resume instead of replay.
+                # The training backend re-measures accuracy from the model on
+                # every evaluation, so the carried value is unused (0.0).
+                self._cache_model(
+                    scheme.prefix(position + 1).identifier,
+                    copy.deepcopy(model),
+                    0.0,
+                    reports,
+                    step_costs,
+                )
 
         profile = profile_model(model, self._input_shape)
         accuracy = evaluate_accuracy(model, self.val_data)
         if not scheme.is_empty:
-            self._cache_model(scheme.identifier, model, accuracy)
+            self._cache_model(scheme.identifier, model, accuracy, reports, step_costs)
         return EvaluationResult(
             scheme=scheme,
             params=profile.params,
@@ -427,18 +547,18 @@ class SurrogateEvaluator(SchemeEvaluator):
         self.base_accuracy = self.accuracy_model.baseline / 100.0
 
     def _evaluate(self, scheme: CompressionScheme) -> EvaluationResult:
-        prefix_len = self._longest_cached_prefix(scheme)
-        if prefix_len:
-            model, accuracy_pct = self._model_cache[scheme.prefix(prefix_len).identifier]
-            model = copy.deepcopy(model)
-            prior = self.results[scheme.prefix(prefix_len).identifier]
-            reports = list(prior.step_reports)
-            step_costs = list(prior.step_costs)
+        prefix_len, snapshot = self._longest_cached_prefix(scheme)
+        if snapshot is not None:
+            model = copy.deepcopy(snapshot.model)
+            accuracy_pct = snapshot.accuracy
+            reports = list(snapshot.step_reports)
+            step_costs = list(snapshot.step_costs)
         else:
             model = copy.deepcopy(self._base_model)
             accuracy_pct = self.accuracy_model.baseline
             reports, step_costs = [], []
 
+        snapshotting = self.snapshot_store is not None
         for position in range(prefix_len, scheme.length):
             strategy = scheme.strategies[position]
             sub_scheme = scheme.prefix(position + 1)
@@ -475,10 +595,19 @@ class SurrogateEvaluator(SchemeEvaluator):
             # parameter fraction (avoids a full profiling forward per step).
             flops_g = (self.base_flops / 1e9) * (params_after / self.base_params)
             step_costs.append(_step_cost(report, flops_g, self.data_fraction))
+            self.steps_executed += 1
+            if snapshotting and position + 1 < scheme.length:
+                self._cache_model(
+                    sub_scheme.identifier,
+                    copy.deepcopy(model),
+                    accuracy_pct,
+                    reports,
+                    step_costs,
+                )
 
         profile = profile_model(model, self._input_shape)
         if not scheme.is_empty:
-            self._cache_model(scheme.identifier, model, accuracy_pct)
+            self._cache_model(scheme.identifier, model, accuracy_pct, reports, step_costs)
         return EvaluationResult(
             scheme=scheme,
             params=profile.params,

@@ -1,0 +1,221 @@
+"""Disk-backed model-snapshot store — the second tier of prefix reuse.
+
+AutoMC's progressive search grows schemes step by step, so nearly every
+candidate shares a long prefix with an already-evaluated parent.  The
+evaluators keep an in-memory LRU of compressed prefix models, but that LRU
+is per-process: engine workers each rebuild their own, and all of them die
+with the pool.  The :class:`ModelSnapshotStore` persists trained prefix
+states to disk — keyed by evaluator fingerprint + prefix identifier — so a
+prefix trained once is resumable by *any* worker, a recycled pool, or a
+later run.
+
+Design points:
+
+* **Payloads** are full modules (structure + state, via
+  :func:`repro.nn.serialization.save_module`) plus the resume metadata the
+  evaluators need: the accuracy carried through the accuracy surrogate and
+  the per-step reports/costs of the prefix.  A state dict alone would not
+  do — rebuilding the structure requires replaying the surgery the snapshot
+  exists to skip.
+* **Atomic writes** — each snapshot is written to a temp file in the store
+  directory and ``os.replace``d into place, so concurrent workers can share
+  a store without locking and readers never observe partial files.
+* **Byte-budgeted LRU eviction** — the store keeps total on-disk bytes
+  under ``budget_bytes`` by deleting the least-recently-used snapshots
+  (file mtimes, refreshed on every hit).  The newest snapshot is never
+  evicted, so a store with a tiny budget still serves the current chain.
+* **Corruption tolerance** — an unreadable or mismatched snapshot is
+  treated as a miss (and deleted); the evaluator falls back to replaying
+  the prefix, which is bit-identical by the determinism guarantee.
+
+Resuming from a snapshot is bit-identical to replaying the prefix: per-step
+RNG seeds derive from stable digests of sub-scheme identifiers, so the
+stored model state equals the state a fresh replay would reach.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional
+
+from ..compression import StepReport
+from ..nn import Module
+from ..nn.serialization import load_module, save_module
+
+#: default on-disk budget — roughly a few hundred resnet56-sized snapshots
+DEFAULT_SNAPSHOT_BUDGET_MB = 256.0
+
+
+@dataclass
+class ModelSnapshot:
+    """Everything needed to resume evaluation from a trained prefix model."""
+
+    identifier: str
+    model: Module
+    accuracy: float                       # backend-native accuracy carry
+    step_reports: List[StepReport] = field(default_factory=list)
+    step_costs: List[float] = field(default_factory=list)
+
+
+class ModelSnapshotStore:
+    """Disk checkpoint tree for prefix models, shared across processes.
+
+    Layout mirrors :class:`~repro.core.engine.ResultCache`::
+
+        snapshot_dir/<fingerprint[:16]>/<sha256(identifier)[:24]>.snap
+
+    ``hits`` / ``misses`` / ``bytes_written`` / ``bytes_evicted`` are plain
+    counters the owning evaluator mirrors into its tracer metrics.
+    """
+
+    SUFFIX = ".snap"
+
+    def __init__(
+        self,
+        snapshot_dir,
+        fingerprint: str,
+        budget_bytes: Optional[int] = None,
+    ):
+        self.root = Path(snapshot_dir) / fingerprint[:16]
+        self.fingerprint = fingerprint
+        self.budget_bytes = (
+            int(DEFAULT_SNAPSHOT_BUDGET_MB * 1024 * 1024)
+            if budget_bytes is None
+            else int(budget_bytes)
+        )
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.bytes_written = 0
+        self.bytes_evicted = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------ #
+    def _path(self, identifier: str) -> Path:
+        digest = hashlib.sha256(identifier.encode("utf-8")).hexdigest()[:24]
+        return self.root / f"{digest}{self.SUFFIX}"
+
+    def __contains__(self, identifier: str) -> bool:
+        return self._path(identifier).exists()
+
+    def get(self, identifier: str) -> Optional[ModelSnapshot]:
+        """Load a snapshot, refreshing its LRU recency; ``None`` on miss.
+
+        Corrupt files (truncated writes from killed workers, foreign data)
+        are deleted and reported as misses — the caller replays instead.
+        """
+        path = self._path(identifier)
+        try:
+            model, extra = load_module(path)
+            if extra.get("identifier") != identifier:  # digest collision
+                self.misses += 1
+                return None
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        try:
+            os.utime(path)  # mark as recently used for eviction ordering
+        except OSError:
+            pass
+        self.hits += 1
+        return ModelSnapshot(
+            identifier=identifier,
+            model=model,
+            accuracy=extra["accuracy"],
+            step_reports=list(extra.get("step_reports", [])),
+            step_costs=list(extra.get("step_costs", [])),
+        )
+
+    def put(self, snapshot: ModelSnapshot) -> None:
+        """Persist one prefix snapshot (atomic), then enforce the budget."""
+        path = self._path(snapshot.identifier)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        os.close(fd)
+        try:
+            save_module(
+                snapshot.model,
+                tmp,
+                extra={
+                    "identifier": snapshot.identifier,
+                    "accuracy": snapshot.accuracy,
+                    "step_reports": list(snapshot.step_reports),
+                    "step_costs": list(snapshot.step_costs),
+                },
+            )
+            self.bytes_written += os.path.getsize(tmp)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._evict(keep=path)
+
+    # ------------------------------------------------------------------ #
+    def _entries(self):
+        """(mtime, size, path) for every snapshot file, oldest first."""
+        entries = []
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return []
+        for name in names:
+            if not name.endswith(self.SUFFIX):
+                continue
+            path = self.root / name
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort(key=lambda e: (e[0], e[2].name))
+        return entries
+
+    def _evict(self, keep: Optional[Path] = None) -> None:
+        """Delete least-recently-used snapshots until under the byte budget.
+
+        ``keep`` (the snapshot just written) survives even when it alone
+        exceeds the budget — evicting the hot chain would defeat the store.
+        """
+        entries = self._entries()
+        total = sum(size for _, size, _ in entries)
+        for _, size, path in entries:
+            if total <= self.budget_bytes:
+                break
+            if keep is not None and path == keep:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            self.bytes_evicted += size
+            self.evictions += 1
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        """Point-in-time store accounting (entries + counters)."""
+        entries = self._entries()
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "bytes": sum(size for _, size, _ in entries),
+            "budget_bytes": self.budget_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "bytes_written": self.bytes_written,
+            "bytes_evicted": self.bytes_evicted,
+            "evictions": self.evictions,
+        }

@@ -39,6 +39,8 @@ class ExperimentConfig:
     seed: int = 0
     workers: int = 0                  # evaluation worker processes (0 = serial)
     cache_dir: Optional[str] = None   # persistent cross-run result cache
+    snapshot_dir: Optional[str] = None  # shared prefix-model snapshot store
+    snapshot_budget_mb: Optional[float] = None  # store size cap (default 256)
     journal: Optional[str] = None     # JSONL run-journal path (repro.obs)
 
     def embedding_config(self) -> EmbeddingConfig:
@@ -107,6 +109,10 @@ def run_algorithm(
     """
     model_name, dataset_name, task = EXPERIMENTS[exp_name]
     evaluator = make_evaluator(model_name, dataset_name, task, seed=config.seed)
+    if config.snapshot_dir is not None:
+        evaluator.set_snapshot_dir(
+            config.snapshot_dir, budget_mb=config.snapshot_budget_mb
+        )
     if config.workers > 0 or config.cache_dir is not None:
         evaluator = EvaluationEngine(
             evaluator, workers=config.workers, cache_dir=config.cache_dir
@@ -149,6 +155,9 @@ def run_algorithm(
                 "workers": evaluator.workers,
                 "cache_hits": evaluator.cache_hits,
                 "fresh_evaluations": evaluator.fresh_evaluations,
+                "steps_replayed": evaluator.steps_replayed,
+                "snapshot_hits": evaluator.snapshot_hits,
+                "snapshot_steps_saved": evaluator.snapshot_steps_saved,
             }
         return result
     finally:

@@ -4,16 +4,26 @@ Structural surgery changes array shapes, so a checkpoint also records each
 parameter's shape implicitly; :func:`load_model` therefore only works on a
 model with the *same structure* (use :func:`save_model` / :func:`load_model`
 around a compression run, or re-apply the scheme to rebuild the structure).
+
+:func:`save_module` / :func:`load_module` serialize the *full* module —
+structure and state together — which is what the
+:class:`~repro.core.snapshots.ModelSnapshotStore` needs: a compressed
+prefix model cannot be rebuilt from a state dict alone because the surgery
+that produced its structure is exactly the work the snapshot exists to skip.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict
+import pickle
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from .layers import Module
+
+#: format tag for save_module payloads; bump on incompatible layout changes
+_MODULE_FORMAT = 1
 
 #: npz keys cannot contain "/" cleanly across platforms; dots are fine.
 _PREFIX = "state."
@@ -42,3 +52,32 @@ def load_model(model: Module, path: str) -> Module:
     """Load a checkpoint into ``model`` (shapes must match) and return it."""
     model.load_state_dict(load_state(path))
     return model
+
+
+def save_module(model: Module, path: str, extra: Optional[dict] = None) -> None:
+    """Serialize a full module (structure + parameters + buffers) to ``path``.
+
+    ``extra`` rides along in the same payload (the snapshot store uses it for
+    accuracy / per-step cost metadata).  The write is a plain single-file
+    write; callers that need atomicity write to a temp path and rename.
+    """
+    payload = {"format": _MODULE_FORMAT, "module": model, "extra": extra or {}}
+    with open(path, "wb") as handle:
+        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def load_module(path: str) -> Tuple[Module, dict]:
+    """Read a :func:`save_module` payload back as ``(module, extra)``.
+
+    Raises ``ValueError`` on payloads that are not save_module output (wrong
+    pickle shape or format tag) so callers can treat corruption as a miss.
+    """
+    with open(path, "rb") as handle:
+        payload = pickle.load(handle)
+    if (
+        not isinstance(payload, dict)
+        or payload.get("format") != _MODULE_FORMAT
+        or not isinstance(payload.get("module"), Module)
+    ):
+        raise ValueError(f"{path!r} is not a save_module payload")
+    return payload["module"], payload.get("extra", {})

@@ -284,49 +284,42 @@ class TestCostAttribution:
 
 # --------------------------------------------------------------------------- #
 class TestWorkerFailure:
-    def test_worker_failure_raises_typed_error_with_scheme_id(self, space):
-        """A _WorkerFailure from the pool becomes a WorkerError in the parent."""
+    def test_worker_failures_aggregate_into_one_error(self, space):
+        """Every _WorkerFailure in a batch surfaces in one WorkerError."""
         engine = EvaluationEngine(make_surrogate(), workers=2)
         tracer = Tracer()
         attach_tracer(engine, tracer)
         batch = _make_batch(space)[:2]
 
-        class FailingPool:
-            def map(self, fn, schemes, chunksize=1):
-                return [
-                    _WorkerFailure(s.identifier, "RuntimeError", "boom", "tb text")
-                    for s in schemes
-                ]
-
-        engine._pool = FailingPool()
+        engine._dispatch = lambda fresh: {
+            s.identifier: _WorkerFailure(s.identifier, "RuntimeError", "boom", "tb text")
+            for s in fresh
+        }
         with pytest.raises(WorkerError) as excinfo:
             engine.evaluate_many(batch)
         error = excinfo.value
+        # first failure mirrored as top-level attributes, all carried in .failures
         assert error.scheme_id == batch[0].identifier
         assert error.cause_type == "RuntimeError"
         assert "boom" in str(error)
-        assert engine.worker_failures == 1
-        assert tracer.metrics.counter("worker_failures").value == 1
-        assert any(e["name"] == "worker_failed" for e in tracer.events)
-        engine._pool = None  # nothing real to shut down
+        assert [f.scheme_id for f in error.failures] == [s.identifier for s in batch]
+        assert engine.worker_failures == 2
+        assert tracer.metrics.counter("worker_failures").value == 2
+        failed_events = [e for e in tracer.events if e["name"] == "worker_failed"]
+        assert len(failed_events) == 2
 
     def test_worker_failure_charges_nothing(self, space):
         engine = EvaluationEngine(make_surrogate(), workers=2)
         batch = _make_batch(space)[:2]
 
-        class FailingPool:
-            def map(self, fn, schemes, chunksize=1):
-                return [
-                    _WorkerFailure(s.identifier, "ValueError", "nope", "")
-                    for s in schemes
-                ]
-
-        engine._pool = FailingPool()
+        engine._dispatch = lambda fresh: {
+            s.identifier: _WorkerFailure(s.identifier, "ValueError", "nope", "")
+            for s in fresh
+        }
         with pytest.raises(WorkerError):
             engine.evaluate_many(batch)
         assert engine.total_cost == 0.0
         assert engine.evaluation_count == 0
-        engine._pool = None
 
 
 # --------------------------------------------------------------------------- #
