@@ -13,12 +13,26 @@ Three passes, one severity model (``ok``/``warning``/``error``), structured
 * **Autodiff anomaly mode** (:func:`detect_anomaly`) — opt-in NaN/Inf
   sanitizer at op boundaries during forward/backward, reporting the
   originating op with its creation context.
+* **Static cost model** (:class:`SchemeCostModel`) — abstract interpretation
+  of compression schemes predicting post-scheme params/FLOPs/memory/latency
+  without surgery; :class:`Budget` turns predictions into ``S###``
+  feasibility rules the linter and evaluators enforce pre-cost.
+* **Repo linter** (:mod:`repro.analysis.repolint`) — AST-based invariant
+  checks on the source tree itself (``R###`` rules), run in CI.
 
-``repro analyze`` exposes the verifier and linter on the command line; the
-rule catalogue is documented in ``docs/static_analysis.md``.
+``repro analyze`` exposes the verifier, linter, and cost model on the command
+line; the rule catalogue is documented in ``docs/static_analysis.md``.
 """
 
 from .anomaly import AnomalyError, anomaly_enabled, detect_anomaly
+from .costmodel import (
+    AbstractModel,
+    Budget,
+    CostPrediction,
+    S_RULES,
+    SchemeCostModel,
+    check_budget,
+)
 from .diagnostics import Diagnostic, Report, Severity, VerificationError
 from .graph import GraphNode, GraphTracer, ModelGraph, TensorSpec, trace_model
 from .linter import SchemeRejected, lint_scheme
@@ -32,19 +46,25 @@ from .verifier import (
 )
 
 __all__ = [
+    "AbstractModel",
     "AnomalyError",
+    "Budget",
+    "CostPrediction",
     "DEFAULT_INPUT_SHAPE",
     "Diagnostic",
     "GraphNode",
     "GraphTracer",
     "ModelGraph",
     "Report",
+    "S_RULES",
+    "SchemeCostModel",
     "SchemeRejected",
     "Severity",
     "TensorSpec",
     "VerificationError",
     "anomaly_enabled",
     "assert_valid",
+    "check_budget",
     "check_finite_parameters",
     "detect_anomaly",
     "infer_output_spec",

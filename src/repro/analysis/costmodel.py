@@ -1,0 +1,925 @@
+"""Static cost model: abstract interpretation of compression schemes.
+
+A :class:`SchemeCostModel` evaluates a
+:class:`~repro.space.scheme.CompressionScheme` *symbolically*: starting from
+the :func:`~repro.analysis.graph.trace_model` graph of the base model, each
+strategy is applied as an *effect signature* — a transformation of abstract
+channel counts, factorisation ranks, and weight dtypes that mirrors the
+arithmetic of the real surgery in :mod:`repro.compression` without touching a
+single weight.  The result is a :class:`CostPrediction` of post-scheme
+parameters, FLOPs, peak activation memory, and a latency proxy, obtained in
+microseconds instead of the seconds-to-minutes a real surgery+profile costs.
+
+Effect signatures per method (the concrete algorithms they abstract):
+
+====== ===============================================================
+method effect on the abstract model
+====== ===============================================================
+C1     :func:`~repro.compression.surgery.uniform_width_scale`: every
+       prunable unit loses ``floor(n * fraction)`` channels, then a
+       global top-up closes the residual budget.
+C2/C3  global greedy pruning to ``round(HP2 * P(M))`` parameters with
+       per-unit floor ``max(1, ceil(n * (1 - HP6)))``; iterated like
+       :func:`~repro.compression.surgery.prune_by_scores` (3 rounds,
+       2% stop rule).
+C4     same with the SFP hard-prune ratio 0.9.
+C5     half the budget pruned (ratio 0.9), the rest taken by Tucker-2
+       factorisation of the largest kernels using the *exact*
+       :func:`~repro.compression.hooi.choose_tucker_ranks` arithmetic.
+C6     filter-basis factorisation largest-first with the exact LFB
+       basis-size formula.
+C7     parameters/FLOPs unchanged; effective weight width becomes
+       HP17 bits (weight-memory prediction only).
+====== ===============================================================
+
+Channel scores are weight-dependent, but their *order statistics* at init are
+not: the abstraction models each criterion's removal order (proportional
+interleaving, unit-order drain for tied BN gammas, expensive-units-first for
+LeGR's retained-mass fitness — see :func:`_prune_mode`).  Parameter
+predictions are budget-driven and tight; FLOPs depend on *which* layers lose
+channels, so their tolerance is validated (and pinned) against measured
+post-surgery profiles in the golden tests.
+
+:class:`Budget` turns predictions into the ``S###`` feasibility rules used by
+:func:`repro.analysis.linter.lint_scheme` and the evaluators:
+
+* ``S001`` params-over-budget   — predicted params exceed ``max_params``;
+* ``S002`` flops-over-budget    — predicted FLOPs exceed ``max_flops``;
+* ``S003`` act-mem-over-budget  — predicted peak activation memory exceeds
+  ``max_act_mem`` bytes;
+* ``S004`` latency-over-budget  — the latency proxy exceeds
+  ``max_latency_ms``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..compression.hooi import choose_tucker_ranks, tucker2_params
+from ..space.scheme import CompressionScheme
+from .diagnostics import Report
+from .graph import ModelGraph, trace_model
+
+#: bytes per activation / weight element at the runtime's native precision
+BYTES_PER_ELEMENT = 4
+#: native weight width before any quantization step
+DEFAULT_WEIGHT_BITS = 32
+#: latency proxy: sustained FLOPs per millisecond of the reference device
+LATENCY_FLOPS_PER_MS = 1.0e8
+#: latency proxy: fixed per-op launch overhead in milliseconds
+LATENCY_OP_OVERHEAD_MS = 0.005
+
+#: rule catalogue (mirrored in docs/static_analysis.md)
+S_RULES: Dict[str, str] = {
+    "S001": "params-over-budget",
+    "S002": "flops-over-budget",
+    "S003": "act-mem-over-budget",
+    "S004": "latency-over-budget",
+}
+
+#: FLOPs rules per registered runtime op (checked by repro.analysis.repolint:
+#: every op name passed to ``repro.nn.functional._register_op`` must appear
+#: here, so a new op cannot silently evade the cost model).
+OP_FLOP_RULES: Dict[str, str] = {
+    "conv2d": "2*Ho*Wo*F*C*kh*kw + Ho*Wo*F if bias (fused ReLU free)",
+    "linear": "2*out*in + out if bias",
+    "add_relu": "one FLOP per output element",
+    "batch_norm": "2 FLOPs per input element (fused scale-shift)",
+    "max_pool2d": "not counted (comparison-only)",
+    "avg_pool2d": "not counted",
+    "global_avg_pool2d": "not counted",
+}
+
+
+# --------------------------------------------------------------------------- #
+# Predictions and budgets
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class CostPrediction:
+    """Statically predicted cost profile of a model after a scheme."""
+
+    params: int
+    flops: int
+    act_mem: int  # peak activation memory, bytes (batch size 1)
+    latency_ms: float
+    weight_bits: int = DEFAULT_WEIGHT_BITS
+
+    @property
+    def weight_mem(self) -> int:
+        """Weight storage in bytes at the effective quantized width."""
+        return int(math.ceil(self.params * self.weight_bits / 8))
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "params": self.params,
+            "flops": self.flops,
+            "act_mem": self.act_mem,
+            "latency_ms": self.latency_ms,
+            "weight_bits": self.weight_bits,
+        }
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Hard resource ceilings a compressed model must satisfy.
+
+    ``None`` fields are unconstrained.  ``max_params``/``max_flops`` are
+    absolute counts, ``max_act_mem`` is bytes, ``max_latency_ms`` is the
+    latency-proxy ceiling in milliseconds.
+    """
+
+    max_params: Optional[int] = None
+    max_flops: Optional[int] = None
+    max_act_mem: Optional[int] = None
+    max_latency_ms: Optional[float] = None
+
+    @property
+    def is_null(self) -> bool:
+        return (
+            self.max_params is None
+            and self.max_flops is None
+            and self.max_act_mem is None
+            and self.max_latency_ms is None
+        )
+
+    def violations(self, prediction: CostPrediction) -> List[Tuple[str, str, object, object]]:
+        """``(rule, message, expected, actual)`` for every exceeded ceiling."""
+        found: List[Tuple[str, str, object, object]] = []
+        if self.max_params is not None and prediction.params > self.max_params:
+            found.append((
+                "S001", "predicted parameter count exceeds the budget",
+                f"<= {self.max_params}", prediction.params,
+            ))
+        if self.max_flops is not None and prediction.flops > self.max_flops:
+            found.append((
+                "S002", "predicted FLOPs exceed the budget",
+                f"<= {self.max_flops}", prediction.flops,
+            ))
+        if self.max_act_mem is not None and prediction.act_mem > self.max_act_mem:
+            found.append((
+                "S003", "predicted peak activation memory exceeds the budget",
+                f"<= {self.max_act_mem} bytes", prediction.act_mem,
+            ))
+        if self.max_latency_ms is not None and prediction.latency_ms > self.max_latency_ms:
+            found.append((
+                "S004", "predicted latency proxy exceeds the budget",
+                f"<= {self.max_latency_ms} ms", round(prediction.latency_ms, 4),
+            ))
+        return found
+
+    def feasible(self, prediction: CostPrediction) -> bool:
+        return not self.violations(prediction)
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "max_params": self.max_params,
+            "max_flops": self.max_flops,
+            "max_act_mem": self.max_act_mem,
+            "max_latency_ms": self.max_latency_ms,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Optional[Dict[str, object]]) -> Optional["Budget"]:
+        if payload is None:
+            return None
+        budget = cls(
+            max_params=payload.get("max_params"),
+            max_flops=payload.get("max_flops"),
+            max_act_mem=payload.get("max_act_mem"),
+            max_latency_ms=payload.get("max_latency_ms"),
+        )
+        return None if budget.is_null else budget
+
+
+# --------------------------------------------------------------------------- #
+# Abstract model structure
+# --------------------------------------------------------------------------- #
+#: op kinds that carry parameters / FLOPs
+_COSTED_KINDS = ("conv", "tucker", "basis", "bn", "linear", "add_relu")
+
+
+@dataclass
+class _Op:
+    """One abstract layer: enough structure to recompute params and FLOPs."""
+
+    path: str
+    kind: str  # conv | tucker | basis | bn | linear | add_relu | zero
+    in_ch: int = 0
+    out_ch: int = 0
+    kernel: int = 1
+    stride: int = 1
+    padding: int = 0
+    bias: bool = False
+    r_in: int = 0  # Tucker input rank
+    r_out: int = 0  # Tucker output rank
+    basis: int = 0  # filter-basis size
+    h_in: Optional[int] = None
+    w_in: Optional[int] = None
+    h_out: Optional[int] = None
+    w_out: Optional[int] = None
+
+    # -- accounting -------------------------------------------------------- #
+    def params(self) -> int:
+        if self.kind == "conv":
+            p = self.out_ch * self.in_ch * self.kernel * self.kernel
+            return p + (self.out_ch if self.bias else 0)
+        if self.kind == "tucker":
+            p = tucker2_params(self.out_ch, self.in_ch, self.kernel, self.r_out, self.r_in)
+            return p + (self.out_ch if self.bias else 0)
+        if self.kind == "basis":
+            p = self.basis * self.in_ch * self.kernel * self.kernel + self.out_ch * self.basis
+            return p + (self.out_ch if self.bias else 0)
+        if self.kind == "bn":
+            return 2 * self.out_ch  # gamma + beta; running stats are buffers
+        if self.kind == "linear":
+            return self.out_ch * self.in_ch + (self.out_ch if self.bias else 0)
+        return 0
+
+    def flops(self) -> int:
+        """FLOPs at batch size 1, matching the runtime's profiling sink."""
+        if self.kind == "conv":
+            area = (self.h_out or 1) * (self.w_out or 1)
+            macs = area * self.out_ch * self.in_ch * self.kernel * self.kernel
+            return 2 * macs + (area * self.out_ch if self.bias else 0)
+        if self.kind == "tucker":
+            area_in = (self.h_in or 1) * (self.w_in or 1)
+            area_out = (self.h_out or 1) * (self.w_out or 1)
+            first = area_in * self.r_in * self.in_ch
+            core = area_out * self.r_out * self.r_in * self.kernel * self.kernel
+            last = area_out * self.out_ch * self.r_out
+            return 2 * (first + core + last) + (area_out * self.out_ch if self.bias else 0)
+        if self.kind == "basis":
+            area_out = (self.h_out or 1) * (self.w_out or 1)
+            basis = area_out * self.basis * self.in_ch * self.kernel * self.kernel
+            coeff = area_out * self.out_ch * self.basis
+            return 2 * (basis + coeff) + (area_out * self.out_ch if self.bias else 0)
+        if self.kind == "bn":
+            area = (self.h_in or 1) * (self.w_in or 1)
+            return 2 * self.out_ch * area
+        if self.kind == "linear":
+            return 2 * self.out_ch * self.in_ch + (self.out_ch if self.bias else 0)
+        if self.kind == "add_relu":
+            return self.out_ch * (self.h_out or 1) * (self.w_out or 1)
+        return 0
+
+    def input_elements(self) -> int:
+        if self.kind == "linear":
+            return self.in_ch
+        area = (self.h_in or 1) * (self.w_in or 1)
+        return self.in_ch * area if self.in_ch else self.out_ch * area
+
+    def output_elements(self) -> int:
+        if self.kind == "linear":
+            return self.out_ch
+        return self.out_ch * (self.h_out or 1) * (self.w_out or 1)
+
+    def input_cost_per_channel(self) -> int:
+        """Parameters one *input* channel of this op costs (surgery mirror)."""
+        if self.kind == "conv":
+            return self.out_ch * self.kernel * self.kernel
+        if self.kind == "linear":
+            return self.out_ch
+        if self.kind == "tucker":
+            return self.r_in  # first 1x1 factor loses one column
+        if self.kind == "basis":
+            return self.basis * self.kernel * self.kernel
+        return 0
+
+
+@dataclass(frozen=True)
+class _Unit:
+    """Abstract pruning unit: op indices instead of module references."""
+
+    name: str
+    producer: int
+    bn: Optional[int]
+    consumers: Tuple[int, ...]
+
+
+_KIND_BY_NODE = {
+    "Conv2d": "conv",
+    "Conv2dReLU": "conv",
+    "TuckerConv2d": "tucker",
+    "BasisConv2d": "basis",
+    "BatchNorm2d": "bn",
+    "Linear": "linear",
+    "AddReLU": "add_relu",
+}
+
+
+class AbstractModel:
+    """Mutable symbolic model: ops in execution order plus pruning units.
+
+    Channel pruning mutates unit-linked channel counts; factorisation
+    rewrites an op's kind in place.  Spatial dimensions come from the base
+    trace and never change (no compression method alters strides).
+    """
+
+    def __init__(
+        self,
+        ops: List[_Op],
+        units: Sequence[_Unit],
+        input_elements: int,
+        weight_bits: int = DEFAULT_WEIGHT_BITS,
+    ):
+        self.ops = ops
+        self.units = tuple(units)
+        self.input_elements = input_elements
+        self.weight_bits = weight_bits
+
+    # -- construction ------------------------------------------------------ #
+    @classmethod
+    def from_model(cls, model, input_shape: Tuple[int, int, int] = (3, 32, 32)) -> "AbstractModel":
+        graph = trace_model(model, input_shape=input_shape, report=Report(subject="costmodel"))
+        return cls.from_graph(graph, model)
+
+    @classmethod
+    def from_graph(cls, graph: ModelGraph, model) -> "AbstractModel":
+        ops: List[_Op] = []
+        index_of: Dict[int, int] = {}
+        for node in graph.nodes:
+            ops.append(cls._op_from_node(node))
+            index_of.setdefault(id(node.module), len(ops) - 1)
+
+        units: List[_Unit] = []
+        for unit in model.pruning_units():
+            producer = index_of.get(id(unit.producer))
+            if producer is None:
+                continue
+            consumers = tuple(
+                index_of[id(c)] for c in unit.consumers if id(c) in index_of
+            )
+            bn = index_of.get(id(unit.bn)) if unit.bn is not None else None
+            units.append(_Unit(name=unit.name, producer=producer, bn=bn, consumers=consumers))
+
+        channels, height, width = graph.input.channels, graph.input.height, graph.input.width
+        input_elements = channels * (height or 1) * (width or 1)
+        return cls(ops=ops, units=units, input_elements=input_elements)
+
+    @staticmethod
+    def _op_from_node(node) -> _Op:
+        kind = _KIND_BY_NODE.get(node.kind, "zero")
+        module = node.module
+        op = _Op(
+            path=node.path,
+            kind=kind,
+            h_in=node.inputs.height,
+            w_in=node.inputs.width,
+            h_out=node.output.height,
+            w_out=node.output.width,
+        )
+        if kind in ("conv", "tucker", "basis"):
+            op.in_ch = module.in_channels
+            op.out_ch = module.out_channels
+            op.kernel = int(getattr(module, "kernel_size", 1))
+            op.stride = int(getattr(module, "stride", 1))
+            op.padding = int(getattr(module, "padding", 0))
+            op.bias = getattr(module, "bias", None) is not None
+            if kind == "tucker":
+                op.r_out, op.r_in = module.ranks
+            elif kind == "basis":
+                op.basis = module.basis_size
+        elif kind == "bn":
+            op.out_ch = module.num_features
+            op.in_ch = module.num_features
+        elif kind == "linear":
+            op.in_ch = module.in_features
+            op.out_ch = module.out_features
+            op.bias = getattr(module, "bias", None) is not None
+        elif kind == "add_relu":
+            op.in_ch = node.inputs.channels
+            op.out_ch = node.output.channels
+        else:
+            op.in_ch = node.inputs.channels
+            op.out_ch = node.output.channels
+        return op
+
+    def clone(self) -> "AbstractModel":
+        return AbstractModel(
+            ops=[replace(op) for op in self.ops],
+            units=self.units,
+            input_elements=self.input_elements,
+            weight_bits=self.weight_bits,
+        )
+
+    # -- accounting -------------------------------------------------------- #
+    def params(self) -> int:
+        return sum(op.params() for op in self.ops)
+
+    def flops(self) -> int:
+        return sum(op.flops() for op in self.ops)
+
+    def peak_activation_bytes(self) -> int:
+        peak = self.input_elements
+        for op in self.ops:
+            if op.kind in _COSTED_KINDS:
+                peak = max(peak, op.input_elements(), op.output_elements())
+        return peak * BYTES_PER_ELEMENT
+
+    def latency_ms(self) -> float:
+        costed = sum(1 for op in self.ops if op.kind in _COSTED_KINDS)
+        return self.flops() / LATENCY_FLOPS_PER_MS + costed * LATENCY_OP_OVERHEAD_MS
+
+    def predict(self) -> CostPrediction:
+        return CostPrediction(
+            params=self.params(),
+            flops=self.flops(),
+            act_mem=self.peak_activation_bytes(),
+            latency_ms=self.latency_ms(),
+            weight_bits=self.weight_bits,
+        )
+
+    # -- pruning-unit helpers ---------------------------------------------- #
+    def active_units(self) -> List[_Unit]:
+        """Units whose producer is still a plain convolution (surgery mirror)."""
+        return [u for u in self.units if self.ops[u.producer].kind == "conv"]
+
+    def unit_channels(self, unit: _Unit) -> int:
+        return self.ops[unit.producer].out_ch
+
+    def unit_fan_in(self, unit: _Unit) -> int:
+        """Fan-in of the producer's filters (drives init score statistics)."""
+        producer = self.ops[unit.producer]
+        return producer.in_ch * producer.kernel * producer.kernel
+
+    def params_per_channel(self, unit: _Unit) -> int:
+        producer = self.ops[unit.producer]
+        cost = producer.in_ch * producer.kernel * producer.kernel
+        if producer.bias:
+            cost += 1
+        if unit.bn is not None:
+            cost += 2
+        for ci in unit.consumers:
+            cost += self.ops[ci].input_cost_per_channel()
+        return cost
+
+    def drop_channels(self, unit: _Unit, count: int) -> None:
+        if count <= 0:
+            return
+        self.ops[unit.producer].out_ch -= count
+        if unit.bn is not None:
+            self.ops[unit.bn].out_ch -= count
+            self.ops[unit.bn].in_ch -= count
+        for ci in unit.consumers:
+            self.ops[ci].in_ch -= count
+
+
+# --------------------------------------------------------------------------- #
+# Effect signatures
+# --------------------------------------------------------------------------- #
+def _norm_ppf(q: float) -> float:
+    """Inverse standard-normal CDF (Acklam's rational approximation).
+
+    Absolute error < 1.15e-9 over (0, 1) — far below the width of the score
+    distributions it feeds, and dependency-free (``scipy`` is unavailable).
+    """
+    a = (-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+         1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+         6.680131188771972e+01, -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+         -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+         3.754408661907416e+00)
+    q = min(max(q, 1e-12), 1.0 - 1e-12)
+    if q < 0.02425:
+        u = math.sqrt(-2.0 * math.log(q))
+        return (((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u + c[4]) * u + c[5]) / \
+            ((((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1.0)
+    if q > 1.0 - 0.02425:
+        u = math.sqrt(-2.0 * math.log(1.0 - q))
+        return -(((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u + c[4]) * u + c[5]) / \
+            ((((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1.0)
+    u = q - 0.5
+    t = u * u
+    return (((((a[0] * t + a[1]) * t + a[2]) * t + a[3]) * t + a[4]) * t + a[5]) * u / \
+        (((((b[0] * t + b[1]) * t + b[2]) * t + b[3]) * t + b[4]) * t + 1.0)
+
+
+def _blom_positions(n: int) -> List[float]:
+    """Blom's plotting positions — E[j-th order statistic] quantiles."""
+    return [(j + 1 - 0.375) / (n + 0.25) for j in range(n)]
+
+
+#: planner modes — the static abstraction of one score criterion's removal
+#: order, as expected order statistics of the criterion at init time:
+#: ``proportional``    scores are identically distributed across units
+#:                     (z-scored, rank-normalised, or scale-invariant
+#:                     criteria), so expected removals interleave by quantile;
+#: ``drain``           scores are exactly tied (BN gammas initialise to 1),
+#:                     so the stable greedy empties units in definition order;
+#: ``l2_norm``         filter l2 norms: ``sqrt(sum w^2)`` of ``d`` Kaiming
+#:                     weights is ~N(sqrt(2)(1 - 1/(4d)), 1/sqrt(d)) — means
+#:                     are nearly fan-in free but spreads shrink with fan-in,
+#:                     so small-fan-in units contribute the global low tail;
+#: ``l1_norm``         filter l1 norms: ~N(2 sqrt(d/pi), sqrt(2(1 - 2/pi)))
+#:                     — means grow with fan-in, draining small-fan-in units;
+#: ``drain_expensive`` removal concentrates on the highest params-per-channel
+#:                     units first (LeGR's retained-mass proxy prefers
+#:                     removing few, expensive channels).
+_PLAN_MODES = ("proportional", "drain", "l2_norm", "l1_norm", "drain_expensive")
+
+
+def _expected_scores(mode: str, n: int, fan_in: int, cost: int) -> List[float]:
+    """Ascending expected channel scores for one unit under ``mode``."""
+    if mode == "drain":
+        return [0.0] * n
+    if mode == "drain_expensive":
+        return [-float(cost)] * n
+    positions = _blom_positions(n)
+    if mode == "l2_norm":
+        mean = math.sqrt(2.0) * (1.0 - 1.0 / (4.0 * max(fan_in, 1)))
+        std = 1.0 / math.sqrt(max(fan_in, 1))
+        return [mean + std * _norm_ppf(q) for q in positions]
+    if mode == "l1_norm":
+        mean = 2.0 * math.sqrt(max(fan_in, 1) / math.pi)
+        std = math.sqrt(2.0 * (1.0 - 2.0 / math.pi))
+        return [mean + std * _norm_ppf(q) for q in positions]
+    return positions  # proportional: common distribution, quantiles suffice
+
+
+def _plan_removal(
+    model: AbstractModel,
+    units: Sequence[_Unit],
+    budget: int,
+    max_ratio: float,
+    min_channels: int = 1,
+    mode: str = "proportional",
+) -> Tuple[List[int], int]:
+    """Mirror of ``plan_global_pruning`` over expected score order statistics.
+
+    The real planner removes channels in ascending-score order with frozen
+    per-unit costs, per-unit floors, and a stop-at-budget rule; this replays
+    exactly that greedy, with each unit's scores replaced by their expected
+    order statistics under ``mode`` (see ``_PLAN_MODES``).  Returns per-unit
+    drop counts and the planned parameter removal (overshoot bounded by one
+    channel, like the greedy).
+    """
+    n = [model.unit_channels(u) for u in units]
+    limits = [
+        max(min_channels, int(math.ceil(ni * (1.0 - max_ratio)))) for ni in n
+    ]
+    costs = [model.params_per_channel(u) for u in units]
+    candidates: List[Tuple[float, int]] = []
+    for i, unit in enumerate(units):
+        fan_in = model.unit_fan_in(unit)
+        for score in _expected_scores(mode, n[i], fan_in, costs[i]):
+            candidates.append((score, i))
+    candidates.sort(key=lambda t: t[0])  # stable: ties keep unit order
+
+    drops = [0] * len(units)
+    removed = 0
+    for _, i in candidates:
+        if removed >= budget:
+            break
+        if n[i] - drops[i] - 1 < limits[i]:
+            continue
+        drops[i] += 1
+        removed += costs[i]
+    return drops, removed
+
+
+def _abstract_prune(
+    model: AbstractModel,
+    budget: int,
+    max_ratio: float,
+    rounds: int = 3,
+    mode: str = "proportional",
+) -> int:
+    """Mirror of ``prune_by_scores``: plan/apply/re-measure up to 3 rounds."""
+    if budget <= 0:
+        return 0
+    start = model.params()
+    for _ in range(max(rounds, 1)):
+        removed = start - model.params()
+        remaining = budget - removed
+        if remaining <= max(0.02 * budget, 1):
+            break
+        units = model.active_units()
+        if not units:
+            break
+        drops, planned = _plan_removal(model, units, remaining, max_ratio, mode=mode)
+        if planned == 0:
+            break
+        for unit, count in zip(units, drops):
+            model.drop_channels(unit, count)
+    return start - model.params()
+
+
+def _abstract_uniform_scale(
+    model: AbstractModel, budget: int, max_ratio: float = 0.95
+) -> int:
+    """Mirror of ``uniform_width_scale`` (C1's width shrink)."""
+    units = model.active_units()
+    if not units or budget <= 0:
+        return 0
+    total_prunable = sum(
+        model.params_per_channel(u) * model.unit_channels(u) for u in units
+    )
+    fraction = min(max_ratio, budget / max(total_prunable, 1))
+    removed = 0
+    for unit in units:
+        n = model.unit_channels(unit)
+        n_drop = min(int(math.floor(n * fraction)), n - 1)
+        if n_drop <= 0:
+            continue
+        cost = model.params_per_channel(unit)
+        model.drop_channels(unit, n_drop)
+        removed += n_drop * cost
+    if removed < budget:
+        units = model.active_units()
+        drops, planned = _plan_removal(model, units, budget - removed, max_ratio)
+        for unit, count in zip(units, drops):
+            model.drop_channels(unit, count)
+        removed += planned
+    return removed
+
+
+def _conv_candidates(model: AbstractModel, min_out: int, min_in: int) -> List[Tuple[int, _Op]]:
+    """Plain convs eligible for factorisation, largest weight first.
+
+    Mirrors the ``named_modules`` iteration + stable size sort of the real
+    factorizers (op order follows execution order, which matches module
+    declaration order for every zoo architecture).
+    """
+    candidates = []
+    for op in model.ops:
+        if op.kind != "conv" or op.kernel < 2:
+            continue
+        if op.out_ch < min_out or op.in_ch < min_in:
+            continue
+        size = op.out_ch * op.in_ch * op.kernel * op.kernel
+        candidates.append((size, op))
+    candidates.sort(key=lambda t: -t[0])
+    return candidates
+
+
+def _abstract_tucker_factorize(model: AbstractModel, budget: int, min_channels: int = 8) -> int:
+    """Mirror of HOS ``_factorize``: exact rank-selection arithmetic."""
+    if budget <= 0:
+        return 0
+    saved = 0
+    for size, op in _conv_candidates(model, min_channels, min_channels):
+        if saved >= budget:
+            break
+        target = max(size - (budget - saved), size // 8)
+        r_out, r_in = choose_tucker_ranks(op.out_ch, op.in_ch, op.kernel, target)
+        new_size = tucker2_params(op.out_ch, op.in_ch, op.kernel, r_out, r_in)
+        if new_size >= size:
+            continue
+        op.kind = "tucker"
+        op.r_out, op.r_in = r_out, r_in
+        saved += size - new_size
+    return saved
+
+
+def _abstract_basis_factorize(model: AbstractModel, budget: int, min_channels: int = 8) -> int:
+    """Mirror of LFB ``_factorize``: exact basis-size arithmetic."""
+    if budget <= 0:
+        return 0
+    saved = 0
+    for size, op in _conv_candidates(model, min_channels, 1):
+        if saved >= budget:
+            break
+        per_basis = op.in_ch * op.kernel * op.kernel + op.out_ch
+        b_max = max(1, size // per_basis - 1)
+        needed = budget - saved
+        b = (size - needed) // per_basis
+        b = max(1, min(int(b), b_max))
+        op.kind = "basis"
+        op.basis = b
+        saved += size - (b * per_basis)
+    return saved
+
+
+_LEGR_POPULATION = 8
+_LEGR_SAMPLES = 4
+_LEGR_MUTATION = 0.2
+_LEGR_MAX_GENERATIONS = 25
+#: ``ExecutionContext.pretrain_epochs`` default — resolves HP7's ``*n``
+_LEGR_PRETRAIN_EPOCHS = 10.0
+
+
+def _abstract_legr(
+    model: AbstractModel,
+    budget: int,
+    max_ratio: float,
+    criterion: str,
+    generations: int,
+) -> int:
+    """Mirror of LeGR's no-train path on expected score order statistics.
+
+    The real C2 evolves per-unit affine transforms ``alpha * score + kappa``
+    whose fitness (with training disabled) is the fraction of criterion mass
+    the induced plan retains.  That fitness is computable symbolically from
+    the expected scores, so the abstraction replays the same regularised
+    evolution — same population size, tournament, mutation scale, and
+    generation budget — over the abstract score arrays (with a fixed seed:
+    the expectation of the stochastic search, not one draw of it).
+    """
+    import numpy as np
+
+    units = model.active_units()
+    if not units or budget <= 0:
+        return 0
+    start = model.params()
+    mode = "l1_norm" if criterion == "l1_weight" else "l2_norm"
+    n = [model.unit_channels(u) for u in units]
+    costs = [model.params_per_channel(u) for u in units]
+    limits = [max(1, int(math.ceil(ni * (1.0 - max_ratio)))) for ni in n]
+    base = [
+        np.asarray(
+            _expected_scores(mode, n[i], model.unit_fan_in(u), costs[i]),
+            dtype=np.float64,
+        )
+        for i, u in enumerate(units)
+    ]
+    total_mass = sum(float(s.sum()) for s in base) + 1e-12
+
+    def plan_for(alpha, kappa):
+        candidates = []
+        for i in range(len(units)):
+            for s in alpha[i] * base[i] + kappa[i]:
+                candidates.append((float(s), i))
+        candidates.sort(key=lambda t: t[0])
+        drops = [0] * len(units)
+        removed = 0
+        for _, i in candidates:
+            if removed >= budget:
+                break
+            if n[i] - drops[i] - 1 < limits[i]:
+                continue
+            drops[i] += 1
+            removed += costs[i]
+        # Scores are ascending per unit, so the dropped channels are each
+        # unit's lowest — retained mass is the tail sum.
+        retained = sum(float(base[i][drops[i]:].sum()) for i in range(len(units)))
+        return retained / total_mass, drops
+
+    rng = np.random.default_rng(0)
+    population = []
+    for _ in range(_LEGR_POPULATION):
+        alpha = np.abs(rng.normal(1.0, 0.1, size=len(units)))
+        kappa = rng.normal(0.0, 0.05, size=len(units))
+        fitness, drops = plan_for(alpha, kappa)
+        population.append((fitness, alpha, kappa, drops))
+    for _ in range(max(1, min(generations, _LEGR_MAX_GENERATIONS))):
+        for _ in range(_LEGR_SAMPLES):
+            sample = rng.choice(
+                len(population), size=min(3, len(population)), replace=False
+            )
+            parent = max((population[j] for j in sample), key=lambda t: t[0])
+            alpha = np.abs(parent[1] + rng.normal(0, _LEGR_MUTATION, size=len(units)))
+            kappa = parent[2] + rng.normal(0, _LEGR_MUTATION / 4, size=len(units))
+            fitness, drops = plan_for(alpha, kappa)
+            population.append((fitness, alpha, kappa, drops))
+            worst = min(range(len(population)), key=lambda j: population[j][0])
+            population.pop(worst)
+    best = max(population, key=lambda t: t[0])
+    for unit, count in zip(units, best[3]):
+        model.drop_channels(unit, count)
+    # Mirror the real top-up: one-shot plans undershoot on chain topologies.
+    removed = start - model.params()
+    if removed < 0.98 * budget:
+        _abstract_prune(model, budget - removed, max_ratio, mode=mode)
+    return start - model.params()
+
+
+def _prune_mode(label: str, hp: Mapping[str, object]) -> str:
+    """Static abstraction of the removal *order* a method's scores induce.
+
+    Derived from the init-time score statistics of ``repro.nn`` (Kaiming
+    weights, unit BN gammas) and validated empirically against measured
+    post-surgery profiles (see ``tests/test_costmodel.py``):
+
+    - C3 scores ``|bn.gamma|`` which initialise to exact ties, so the stable
+      greedy drains units in definition order to their floors;
+    - C4 scores filter l2 norms whose order statistics under Kaiming init
+      put small-fan-in units in the global low tail (``l2_norm`` model);
+    - C5's raw ``P2``+``l1norm`` aggregation has means growing with fan-in
+      (``l1_norm`` model); the z-scored/rank-normalised aggregations and the
+      scale-free moment criteria interleave uniformly (``proportional``);
+    - C2 runs the LeGR evolution itself on the abstract scores (see
+      :func:`_abstract_legr`) and is dispatched before this lookup.
+    """
+    if label == "C3":
+        return "drain"
+    if label == "C4":
+        return "l2_norm"
+    if label == "C5" and hp.get("HP11") == "P2" and hp.get("HP12") == "l1norm":
+        return "l1_norm"
+    return "proportional"
+
+
+def apply_strategy(model: AbstractModel, strategy, base_params: int) -> None:
+    """Apply one strategy's effect signature to ``model`` in place.
+
+    ``base_params`` is P(M) of the *original* model — HP2 budgets are always
+    relative to it, exactly like ``ExecutionContext.param_budget``.
+    """
+    label = strategy.method_label
+    hp = strategy.hp
+    budget = int(round(float(hp.get("HP2", 0.0)) * base_params))
+    mode = _prune_mode(label, hp)
+    if label == "C1":
+        _abstract_uniform_scale(model, budget)
+    elif label == "C2":
+        generations = int(
+            round(float(hp.get("HP7", 0.5)) * _LEGR_PRETRAIN_EPOCHS)
+        )
+        _abstract_legr(
+            model,
+            budget,
+            max_ratio=float(hp.get("HP6", 0.9)),
+            criterion=str(hp.get("HP8", "l2_weight")),
+            generations=generations,
+        )
+    elif label == "C3":
+        _abstract_prune(model, budget, max_ratio=float(hp.get("HP6", 0.9)), mode=mode)
+    elif label == "C4":
+        _abstract_prune(model, budget, max_ratio=0.9, mode=mode)
+    elif label == "C5":
+        removed = _abstract_prune(
+            model, int(round(budget * 0.5)), max_ratio=0.9, mode=mode
+        )
+        _abstract_tucker_factorize(model, budget - removed)
+    elif label == "C6":
+        _abstract_basis_factorize(model, budget)
+    elif label == "C7":
+        model.weight_bits = int(hp.get("HP17", DEFAULT_WEIGHT_BITS))
+    else:
+        raise ValueError(f"no effect signature for method {label!r}")
+
+
+# --------------------------------------------------------------------------- #
+# The scheme-level cost model
+# --------------------------------------------------------------------------- #
+class SchemeCostModel:
+    """Predict post-scheme cost profiles by abstract interpretation.
+
+    Prefix states are cached by scheme identifier, so scoring thousands of
+    one-step extensions of the same parent (the progressive-search hot path)
+    costs one strategy application each.
+    """
+
+    def __init__(
+        self,
+        model=None,
+        input_shape: Tuple[int, int, int] = (3, 32, 32),
+        base: Optional[AbstractModel] = None,
+        cache_size: int = 4096,
+    ):
+        if base is None:
+            if model is None:
+                raise ValueError("SchemeCostModel needs a model or an AbstractModel")
+            base = AbstractModel.from_model(model, input_shape=input_shape)
+        self._base = base
+        self.base_params = base.params()
+        self.base_prediction = base.predict()
+        self._cache_size = max(cache_size, 2)
+        self._states: Dict[str, AbstractModel] = {"START": base}
+
+    def state(self, scheme: CompressionScheme) -> AbstractModel:
+        """The abstract model after ``scheme`` (cached; do not mutate)."""
+        identifier = scheme.identifier
+        cached = self._states.get(identifier)
+        if cached is not None:
+            return cached
+        parent = self.state(scheme.prefix(scheme.length - 1))
+        state = parent.clone()
+        apply_strategy(state, scheme.strategies[-1], self.base_params)
+        if len(self._states) >= self._cache_size:
+            self._evict()
+        self._states[identifier] = state
+        return state
+
+    def _evict(self) -> None:
+        # Drop the longest cached schemes first: short prefixes are the
+        # shared ancestors whose reuse pays for the cache.
+        victims = sorted(self._states, key=lambda k: -k.count("->"))
+        for key in victims[: self._cache_size // 2]:
+            if key != "START":
+                del self._states[key]
+
+    def predict(self, scheme: CompressionScheme) -> CostPrediction:
+        return self.state(scheme).predict()
+
+    def feasible(self, scheme: CompressionScheme, budget: Optional[Budget]) -> bool:
+        if budget is None or budget.is_null:
+            return True
+        return budget.feasible(self.predict(scheme))
+
+
+def check_budget(
+    report: Report,
+    scheme: CompressionScheme,
+    budget: Budget,
+    cost_model: SchemeCostModel,
+) -> CostPrediction:
+    """Run the S### rules for ``scheme`` against ``budget`` into ``report``."""
+    prediction = cost_model.predict(scheme)
+    for rule, message, expected, actual in budget.violations(prediction):
+        report.error(rule, "budget", message, expected=expected, actual=actual)
+    return prediction

@@ -19,7 +19,17 @@ invariants that real structural surgery can break:
 * ``V007`` zero-width-layer — a layer with zero output channels/features;
 * ``V008`` spatial-collapse — spatial resolution falls below 1x1;
 * ``V010`` untraceable-module — an unknown composite the tracer must skip;
-* ``V012`` op-needs-spatial-input — a conv/pool applied after flattening.
+* ``V012`` op-needs-spatial-input — a conv/pool applied after flattening;
+* ``V013`` unknown-fused-activation — a convolution requests an activation
+  fusion the runtime does not implement.
+
+The trace mirrors the *fused* execution path of ``repro.nn``: a residual
+merge emits one ``AddReLU`` node (the runtime's ``F.add_relu`` fused op), a
+``Conv2d`` whose ``activation`` attribute is ``"relu"`` is recorded as a
+single ``Conv2dReLU`` node (``conv2d(..., activation="relu")``), and a
+``BatchNorm2d`` is one node for the single fused normalise-scale-shift op
+that both the training and eval paths execute.  Cost models built on the
+graph therefore see exactly the ops the profiler counts.
 
 Custom modules can opt into tracing by defining
 ``trace_static(tracer, spec, path) -> TensorSpec``.
@@ -175,9 +185,22 @@ class GraphTracer:
                 return handler
         return None
 
-    def _record(self, module: Module, spec: TensorSpec, out: TensorSpec, path: str) -> None:
+    def _record(
+        self,
+        module: Module,
+        spec: TensorSpec,
+        out: TensorSpec,
+        path: str,
+        kind: Optional[str] = None,
+    ) -> None:
         self.graph.nodes.append(
-            GraphNode(path=path, kind=type(module).__name__, module=module, inputs=spec, output=out)
+            GraphNode(
+                path=path,
+                kind=kind if kind is not None else type(module).__name__,
+                module=module,
+                inputs=spec,
+                output=out,
+            )
         )
 
     # ------------------------------------------------------------------ #
@@ -231,7 +254,18 @@ class GraphTracer:
         out = replace(spec, channels=conv.out_channels)
         if self._check_spatial_input(conv, spec, path):
             out = self._spatial_after(out, conv.kernel_size, conv.stride, conv.padding, path)
-        self._record(conv, spec, out, path)
+        activation = getattr(conv, "activation", None)
+        kind = None
+        if activation == "relu":
+            kind = "Conv2dReLU"
+        elif activation is not None:
+            self.report.warn(
+                "V013",
+                path,
+                f"convolution requests fused activation {activation!r} which the "
+                "runtime does not implement; tracing it as a plain convolution",
+            )
+        self._record(conv, spec, out, path, kind=kind)
         return out
 
     def _generic_conv_like(self, module: Module, spec: TensorSpec, path: str) -> TensorSpec:
@@ -398,6 +432,9 @@ class GraphTracer:
                 expected=f"{skip.height}x{skip.width}",
                 actual=f"{main.height}x{main.width}",
             )
+        # The merge is a real fused op at runtime (F.add_relu) with its own
+        # FLOPs, so it gets a node of its own.
+        self._record(block, main, main, _join(path, "add_relu"), kind="AddReLU")
         return main
 
     def _basic_block(self, block: BasicBlock, spec: TensorSpec, path: str) -> TensorSpec:

@@ -28,6 +28,13 @@ metadata (no model, no dataset):
 * ``L012`` prune-after-factorization — factorised layers leave the prunable
   set, so later pruning has fewer units to work with (warning).
 
+When a :class:`~repro.analysis.costmodel.Budget` and a
+:class:`~repro.analysis.costmodel.SchemeCostModel` are supplied, the linter
+additionally runs the ``S###`` budget-feasibility rules (S001 params, S002
+FLOPs, S003 activation memory, S004 latency proxy): the scheme is abstractly
+interpreted and every predicted cost exceeding its ceiling is an error —
+still without paying any evaluation cost.
+
 :class:`SchemeRejected` is the exception evaluators raise when a lint error
 fires; it carries the full report so searches can log *why* a candidate was
 discarded without charging budget.
@@ -36,11 +43,14 @@ discarded without charging budget.
 from __future__ import annotations
 
 from numbers import Number
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..space.hyperparams import HP_GRID, METHOD_HPS
 from ..space.scheme import MAX_SCHEME_LENGTH, CompressionScheme
 from .diagnostics import Report
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from .costmodel import Budget, SchemeCostModel
 
 #: nominal total HP2 beyond which built-in searches refuse to extend schemes
 AGGRESSIVE_TOTAL_STEP = 0.9
@@ -108,8 +118,14 @@ def lint_scheme(
     scheme: CompressionScheme,
     max_length: int = MAX_SCHEME_LENGTH,
     name: Optional[str] = None,
+    budget: Optional["Budget"] = None,
+    cost_model: Optional["SchemeCostModel"] = None,
 ) -> Report:
-    """Statically validate a compression scheme; see the module docstring."""
+    """Statically validate a compression scheme; see the module docstring.
+
+    ``budget`` + ``cost_model`` enable the ``S###`` feasibility rules on top
+    of the metadata-only ``L###`` checks.
+    """
     report = Report(subject=name or scheme.identifier)
     if scheme.is_empty:
         report.note("L000", "", "empty scheme (START) — nothing to lint")
@@ -198,4 +214,12 @@ def lint_scheme(
             "built-in searches enforce",
             expected=f"<= {AGGRESSIVE_TOTAL_STEP}", actual=round(total, 3),
         )
+
+    if budget is not None and cost_model is not None and not budget.is_null:
+        # Only S-check schemes that are structurally executable — abstract
+        # interpretation needs valid strategies.
+        if not report.errors:
+            from .costmodel import check_budget
+
+            check_budget(report, scheme, budget, cost_model)
     return report

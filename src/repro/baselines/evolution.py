@@ -52,6 +52,10 @@ class EvolutionSearch(SearchStrategy):
         mutated = CompressionScheme(tuple(strategies))
         if mutated.total_param_step > 0.9 or mutated.is_empty:
             return scheme
+        # Statically-infeasible children fall back to the parent, exactly
+        # like the nominal-PR guard above — no evaluation cost is charged.
+        if not self.feasible(mutated):
+            return scheme
         return mutated
 
     def _crossover(self, a: CompressionScheme, b: CompressionScheme) -> CompressionScheme:
@@ -60,6 +64,8 @@ class EvolutionSearch(SearchStrategy):
         child = CompressionScheme(a.strategies[:cut_a] + b.strategies[cut_b:])
         child = child.prefix(self.max_length)
         if child.is_empty or child.total_param_step > 0.9:
+            return a
+        if not self.feasible(child):
             return a
         return child
 

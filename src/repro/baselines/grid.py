@@ -29,6 +29,8 @@ class GridSearchOutcome:
     target_pr: float
     best: EvaluationResult
     evaluations: int
+    #: grid points dropped by the static budget filter (never evaluated)
+    budget_filtered: int = 0
 
 
 def run_human_method(
@@ -65,6 +67,20 @@ def run_human_method(
     if not schemes:
         raise RuntimeError(f"grid search produced no evaluations for {method_label}")
 
+    # Static budget pre-filter: infeasible grid points never reach the
+    # evaluator and charge nothing.
+    budget_filtered = 0
+    check = getattr(evaluator, "is_feasible", None)
+    if check is not None and getattr(evaluator, "budget", None) is not None:
+        kept = [scheme for scheme in schemes if check(scheme)]
+        budget_filtered = len(schemes) - len(kept)
+        schemes = kept
+    if not schemes:
+        raise RuntimeError(
+            f"the budget statically rejects every {method_label} grid point "
+            f"at target {target_pr}"
+        )
+
     best: Optional[EvaluationResult] = None
     tracer = getattr(evaluator, "tracer", NULL_TRACER)
     with tracer.span(
@@ -83,6 +99,7 @@ def run_human_method(
         target_pr=target_pr,
         best=best,
         evaluations=count,
+        budget_filtered=budget_filtered,
     )
 
 

@@ -26,7 +26,10 @@ class RandomSearch(SearchStrategy):
             while len(batch) < self.record_every and attempts < 4 * self.record_every:
                 scheme = self.random_scheme()
                 attempts += 1
-                if not scheme.is_empty:
+                # Statically-infeasible schemes are skipped for free (the
+                # draw still consumed self.rng, keeping sequences aligned
+                # with an unfiltered run over the surviving schemes).
+                if not scheme.is_empty and self.feasible(scheme):
                     batch.append(scheme)
             if not batch:
                 break

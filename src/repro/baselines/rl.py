@@ -125,6 +125,11 @@ class RLSearch(SearchStrategy):
                 scheme, log_probs = self._sample_scheme()
                 if scheme.is_empty or not log_probs:
                     continue
+                # Statically-infeasible samples are dropped for free — the
+                # controller still consumed its decisions, but no evaluation
+                # cost is charged and no gradient flows from the sample.
+                if not self.feasible(scheme):
+                    continue
                 sampled.append((scheme, log_probs))
             if not sampled:
                 break

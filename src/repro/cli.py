@@ -25,6 +25,19 @@ def _add_budget_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _add_static_budget_args(parser: argparse.ArgumentParser) -> None:
+    """Static cost-model ceilings (repro.analysis.costmodel S001-S004)."""
+    parser.add_argument("--max-params", type=int, default=None,
+                        help="S001: reject schemes whose predicted parameter "
+                             "count exceeds this cap (no evaluation cost)")
+    parser.add_argument("--max-flops", type=int, default=None,
+                        help="S002: cap on predicted inference FLOPs")
+    parser.add_argument("--max-act-mem", type=int, default=None,
+                        help="S003: cap on predicted peak activation bytes")
+    parser.add_argument("--max-latency-ms", type=float, default=None,
+                        help="S004: cap on the predicted latency proxy (ms)")
+
+
 def _config(args) -> "ExperimentConfig":
     from .experiments import ExperimentConfig
 
@@ -35,6 +48,10 @@ def _config(args) -> "ExperimentConfig":
         cache_dir=getattr(args, "cache_dir", None),
         snapshot_dir=getattr(args, "snapshot_dir", None),
         journal=getattr(args, "journal", None),
+        max_params=getattr(args, "max_params", None),
+        max_flops=getattr(args, "max_flops", None),
+        max_act_mem=getattr(args, "max_act_mem", None),
+        max_latency_ms=getattr(args, "max_latency_ms", None),
     )
 
 
@@ -46,16 +63,29 @@ def cmd_search(args) -> int:
     print(result.summary())
     if result.engine_stats is not None:
         stats = result.engine_stats
-        print(
-            f"engine: {stats['workers']} workers, "
-            f"{stats['fresh_evaluations']} fresh evaluations, "
-            f"{stats['cache_hits']} persistent-cache hits, "
-            f"{stats['steps_replayed']} steps replayed"
-        )
+        if "workers" in stats:
+            print(
+                f"engine: {stats['workers']} workers, "
+                f"{stats['fresh_evaluations']} fresh evaluations, "
+                f"{stats['cache_hits']} persistent-cache hits, "
+                f"{stats['steps_replayed']} steps replayed"
+            )
         if stats.get("snapshot_hits"):
             print(
                 f"snapshots: {stats['snapshot_hits']} prefix resumes, "
                 f"{stats['snapshot_steps_saved']} replay steps saved"
+            )
+        if "budget_pruned" in stats:
+            print(
+                f"static budget: {stats['budget_pruned']} candidates pruned at "
+                f"generation, {stats['budget_filtered']} filtered pre-batch, "
+                f"{stats['budget_rejects']} lint-rejected (all at zero cost)"
+            )
+        if stats.get("predicted_evals"):
+            print(
+                f"cost-model drift over {stats['predicted_evals']} evaluations: "
+                f"params {stats['drift_params_pct']:.2f}%, "
+                f"flops {stats['drift_flops_pct']:.2f}% (mean absolute)"
             )
     print()
     print(f"Pareto schemes with PR >= {result.gamma:.0%}:")
@@ -154,6 +184,74 @@ def cmd_inspect(args) -> int:
     return 0
 
 
+def _analyze_space(args, input_shape) -> int:
+    """``repro analyze space``: how much of S a static budget eliminates."""
+    import numpy as np
+
+    from .analysis.costmodel import Budget, S_RULES, SchemeCostModel
+    from .models import available_models, create_model
+    from .space import MAX_SCHEME_LENGTH, StrategySpace
+    from .space.scheme import CompressionScheme
+
+    budget = Budget(
+        max_params=args.max_params,
+        max_flops=args.max_flops,
+        max_act_mem=args.max_act_mem,
+        max_latency_ms=args.max_latency_ms,
+    )
+    if budget.is_null:
+        print("analyze space needs at least one cap: --max-params, --max-flops, "
+              "--max-act-mem or --max-latency-ms", file=sys.stderr)
+        return 2
+    if args.target_model not in available_models():
+        print(f"unknown model {args.target_model!r}; available: "
+              f"{', '.join(available_models())}", file=sys.stderr)
+        return 2
+
+    model = create_model(args.target_model, num_classes=args.num_classes)
+    cost_model = SchemeCostModel(model, input_shape=input_shape)
+    base = cost_model.base_prediction
+    space = StrategySpace()
+    rng = np.random.default_rng(args.seed)
+
+    total = 0
+    infeasible = 0
+    per_rule: dict = {}
+    for _ in range(args.samples):
+        # Uniform draw from the scheme tree, mirroring the search baselines'
+        # random_scheme(): length 1..L, nominal PR capped at 0.9.
+        length = int(rng.integers(1, MAX_SCHEME_LENGTH + 1))
+        scheme = CompressionScheme()
+        for _ in range(length):
+            for _ in range(20):
+                strategy = space[int(rng.integers(0, len(space)))]
+                if scheme.total_param_step + strategy.param_step <= 0.9:
+                    scheme = scheme.extend(strategy)
+                    break
+        if scheme.is_empty:
+            continue
+        total += 1
+        violations = budget.violations(cost_model.predict(scheme))
+        if violations:
+            infeasible += 1
+            for rule, *_ in violations:
+                per_rule[rule] = per_rule.get(rule, 0) + 1
+
+    print(f"scheme space under a static budget — {args.target_model}, "
+          f"{total} sampled schemes (seed {args.seed})")
+    print(f"  base model: {base.params} params, {base.flops} FLOPs, "
+          f"{base.act_mem} peak activation bytes, {base.latency_ms:.3f} ms proxy")
+    for key, value in sorted(budget.to_payload().items()):
+        if value is not None:
+            print(f"  budget {key} = {value}")
+    pct = 100.0 * infeasible / max(total, 1)
+    print(f"  statically eliminated: {infeasible} / {total} ({pct:.1f}%) "
+          f"at zero evaluation cost")
+    for rule in sorted(per_rule):
+        print(f"    {rule} ({S_RULES[rule]}): {per_rule[rule]}")
+    return 0
+
+
 def cmd_analyze(args) -> int:
     from .analysis import lint_scheme, verify_checkpoint, verify_model
     from .models import available_models, create_model
@@ -167,6 +265,9 @@ def cmd_analyze(args) -> int:
     if len(input_shape) != 3:
         print(f"--input-shape must be C,H,W (got {args.input_shape!r})", file=sys.stderr)
         return 2
+
+    if args.model == "space":
+        return _analyze_space(args, input_shape)
 
     if args.model and args.model not in available_models():
         print(f"unknown model {args.model!r}; available: {', '.join(available_models())}",
@@ -194,13 +295,33 @@ def cmd_analyze(args) -> int:
         reports.append(verify_checkpoint(load_state(args.checkpoint), name=args.checkpoint))
 
     if args.scheme:
+        from .analysis import Budget, SchemeCostModel
+
         space = StrategySpace(include_quantization=True)
         try:
             scheme = space.parse_scheme(args.scheme)
         except ValueError as exc:
             print(f"cannot parse scheme: {exc}", file=sys.stderr)
             return 2
-        reports.append(lint_scheme(scheme))
+        budget = Budget(
+            max_params=args.max_params,
+            max_flops=args.max_flops,
+            max_act_mem=args.max_act_mem,
+            max_latency_ms=args.max_latency_ms,
+        )
+        if budget.is_null:
+            reports.append(lint_scheme(scheme))
+        else:
+            # Budget caps turn linting into budget-feasibility checking
+            # against the named model (S001-S004).
+            name = args.model or args.target_model
+            cost_model = SchemeCostModel(
+                create_model(name, num_classes=args.num_classes),
+                input_shape=input_shape,
+            )
+            reports.append(
+                lint_scheme(scheme, budget=budget, cost_model=cost_model)
+            )
 
     if not reports:
         print("nothing to analyze: give MODEL, --all-models, --checkpoint or --scheme",
@@ -288,6 +409,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="stream spans/events of the run to this JSONL journal "
                         "(summarize afterwards with 'repro trace summarize')")
     _add_budget_args(p)
+    _add_static_budget_args(p)
     p.set_defaults(func=cmd_search)
 
     p = sub.add_parser("table2", help="regenerate Table 2")
@@ -322,12 +444,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "analyze",
-        help="statically verify models / checkpoints / lint schemes",
+        help="statically verify models / checkpoints / lint schemes / "
+             "measure budget pruning power",
         description="Static analysis: graph verification of registered models, "
                     "checkpoint sanity checks and compression-scheme linting. "
+                    "With budget caps (--max-params etc.) schemes are also "
+                    "checked for budget feasibility via the abstract cost "
+                    "model, and 'repro analyze space' reports how much of the "
+                    "scheme space the budget statically eliminates. "
                     "Exits 1 when any report has errors (or warnings with --strict).",
     )
-    p.add_argument("model", nargs="?", help="registered model name (see repro.models)")
+    p.add_argument("model", nargs="?",
+                   help="registered model name (see repro.models), or 'space' "
+                        "to measure a budget's pruning power over the scheme tree")
     p.add_argument("--all-models", action="store_true",
                    help="verify every registered model")
     p.add_argument("--checkpoint", help=".npz checkpoint to verify "
@@ -337,6 +466,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--input-shape", default="3,32,32", help="C,H,W (default 3,32,32)")
     p.add_argument("--strict", action="store_true", help="warnings also fail")
     p.add_argument("--verbose", action="store_true", help="also print ok-level notes")
+    _add_static_budget_args(p)
+    p.add_argument("--target-model", default="resnet56",
+                   help="model the cost model interprets schemes against "
+                        "(for 'analyze space' and budgeted --scheme linting)")
+    p.add_argument("--samples", type=int, default=2000,
+                   help="schemes sampled from the tree by 'analyze space'")
+    p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser(

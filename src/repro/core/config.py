@@ -26,6 +26,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ..analysis.costmodel import Budget
 from ..data.tasks import CompressionTask
 
 #: per-backend defaults for fields left as ``None`` in a user-built config
@@ -64,6 +65,10 @@ class EvaluatorConfig:
     seed: int = 0
     model_cache_size: Optional[int] = None   # backend default when None
     lint_schemes: bool = True
+    # Static budget-feasibility ceilings (repro.analysis.costmodel).  A budget
+    # only *filters* which schemes are evaluated — it never changes a measured
+    # result — so, like linting, it stays out of the fingerprint.
+    budget: Optional[Budget] = field(default=None, compare=False)
     # Prefix-model snapshot store (repro.core.snapshots).  Presentation-layer
     # knobs: resuming a snapshot is bit-identical to replaying the prefix, so
     # neither field enters the fingerprint.  Carried in the config so engine

@@ -45,6 +45,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..analysis.costmodel import Budget, SchemeCostModel
 from ..analysis.diagnostics import Report
 from ..analysis.linter import SchemeRejected, lint_scheme
 from ..compression import ExecutionContext, StepReport
@@ -146,6 +147,18 @@ class SchemeEvaluator:
         self.lint_schemes = config.lint_schemes
         self.rejected_count = 0
         self.rejected: Dict[str, Report] = {}
+        #: static budget-feasibility ceilings (None disables the S### rules)
+        self.budget: Optional[Budget] = config.budget
+        #: schemes rejected by an S### rule inside lint (subset of rejected)
+        self.budget_rejects = 0
+        #: schemes filtered by is_feasible() before reaching evaluation
+        self.budget_filtered = 0
+        #: prediction-drift accounting: |predicted - measured| / measured sums
+        self.predicted_evals = 0
+        self.drift_params_pct_sum = 0.0
+        self.drift_flops_pct_sum = 0.0
+        self._cost_model: Optional[SchemeCostModel] = None
+        self._cost_model_ready = False
         self._model_cache: "OrderedDict[str, ModelSnapshot]" = OrderedDict()
         self._model_cache_size = config.model_cache_size
         self._fingerprint: Optional[str] = None
@@ -281,6 +294,58 @@ class SchemeEvaluator:
             cost += step_cost
         return cost
 
+    # -- static cost model -------------------------------------------------
+    @property
+    def cost_model(self) -> Optional[SchemeCostModel]:
+        """Lazy :class:`SchemeCostModel` over the backend's base model.
+
+        ``None`` when the base model cannot be traced (custom test modules);
+        budget checks then degrade to no-ops rather than failing evaluation.
+        """
+        if not self._cost_model_ready:
+            self._cost_model_ready = True
+            base_model = getattr(self, "_base_model", None)
+            input_shape = getattr(self, "_input_shape", (3, 32, 32))
+            if base_model is not None:
+                try:
+                    self._cost_model = SchemeCostModel(base_model, input_shape)
+                except Exception:
+                    self._cost_model = None
+        return self._cost_model
+
+    def set_budget(self, budget: Optional[Budget]) -> None:
+        """(Re)configure the static feasibility budget after construction.
+
+        Updates ``config`` too, so engine workers rebuilt from it enforce the
+        same ceilings.
+        """
+        if budget is not None and budget.is_null:
+            budget = None
+        self.budget = budget
+        self.config = replace(self.config, budget=budget)
+
+    def is_feasible(self, scheme: CompressionScheme) -> bool:
+        """Statically decide whether ``scheme`` can meet the budget.
+
+        Free for the search budget: no surgery, no simulated GPU-hours.
+        Schemes are feasible by definition when no budget or no cost model is
+        available.  Infeasible calls are counted (``budget_filtered``) so
+        runs can report how much of the space the budget eliminated.
+        """
+        budget = self.budget
+        if budget is None or scheme.is_empty:
+            return True
+        cost_model = self.cost_model
+        if cost_model is None:
+            return True
+        if cost_model.feasible(scheme, budget):
+            return True
+        self.budget_filtered += 1
+        if self.tracer.enabled:
+            self.tracer.event("budget_filter", scheme=scheme.identifier)
+            self.tracer.metrics.counter("budget_filtered").inc()
+        return False
+
     # -- public API ----------------------------------------------------------
     def fingerprint(self) -> str:
         """Stable digest of model/dataset/seed/config identity.
@@ -303,19 +368,28 @@ class SchemeEvaluator:
         """Lint ``scheme``; record and raise :class:`SchemeRejected` on errors.
 
         Rejection happens *before* any simulated GPU-hours are charged — a
-        doomed scheme costs the search nothing but the lint itself.
+        doomed scheme costs the search nothing but the lint itself.  With a
+        budget configured, the ``S###`` feasibility rules run here too, so a
+        statically-infeasible scheme is rejected exactly like a lint error.
         """
-        report = lint_scheme(scheme)
+        report = lint_scheme(
+            scheme,
+            budget=self.budget,
+            cost_model=self.cost_model if self.budget is not None else None,
+        )
         if report.has_errors:
+            rules = sorted({d.rule for d in report.errors})
             self.rejected_count += 1
             self.rejected[scheme.identifier] = report
+            over_budget = any(rule.startswith("S") for rule in rules)
+            if over_budget:
+                self.budget_rejects += 1
             if self.tracer.enabled:
-                self.tracer.event(
-                    "lint_reject",
-                    scheme=scheme.identifier,
-                    rules=sorted({d.rule for d in report.errors}),
-                )
+                self.tracer.event("lint_reject", scheme=scheme.identifier, rules=rules)
                 self.tracer.metrics.counter("lint_rejects").inc()
+                if over_budget:
+                    self.tracer.event("budget_reject", scheme=scheme.identifier)
+                    self.tracer.metrics.counter("budget_rejects").inc()
             raise SchemeRejected(scheme, report)
         return report
 
@@ -363,6 +437,34 @@ class SchemeEvaluator:
                 self._evaluate_recorded(scheme)
         return [self.results[scheme.identifier] for scheme in schemes]
 
+    def _record_prediction(self, result: EvaluationResult, span=None) -> None:
+        """Fold predicted-vs-measured drift into the running accounting."""
+        cost_model = self.cost_model
+        if cost_model is None or result.scheme.is_empty:
+            return
+        prediction = cost_model.predict(result.scheme)
+        self.predicted_evals += 1
+        params_pct = 100.0 * abs(prediction.params - result.params) / max(result.params, 1)
+        flops_pct = 100.0 * abs(prediction.flops - result.flops) / max(result.flops, 1)
+        self.drift_params_pct_sum += params_pct
+        self.drift_flops_pct_sum += flops_pct
+        if span is not None:
+            span.set(
+                predicted_params=prediction.params,
+                predicted_flops=prediction.flops,
+                drift_params_pct=round(params_pct, 3),
+                drift_flops_pct=round(flops_pct, 3),
+            )
+
+    def prediction_drift(self) -> Dict[str, float]:
+        """Mean absolute predicted-vs-measured drift over fresh evaluations."""
+        count = max(self.predicted_evals, 1)
+        return {
+            "predicted_evals": float(self.predicted_evals),
+            "drift_params_pct": self.drift_params_pct_sum / count,
+            "drift_flops_pct": self.drift_flops_pct_sum / count,
+        }
+
     def _evaluate_recorded(self, scheme: CompressionScheme) -> EvaluationResult:
         """Run ``_evaluate`` and fold the result into the bookkeeping."""
         tracer = self.tracer
@@ -373,9 +475,12 @@ class SchemeEvaluator:
                 # exact cost float (the journal-sum == total_cost invariant)
                 span.add_cost(result.cost)
                 span.set(params=result.params, pr=result.pr, accuracy=result.accuracy)
+                self._record_prediction(result, span)
             tracer.metrics.counter("evaluations.fresh").inc()
         else:
             result = self._evaluate(scheme)
+            if self.budget is not None:
+                self._record_prediction(result)
         self.results[scheme.identifier] = result
         self.total_cost += result.cost
         self.evaluation_count += 1

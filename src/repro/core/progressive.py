@@ -152,6 +152,21 @@ class ProgressiveSearch(SearchStrategy):
             candidates = candidates[keep]
             if len(candidates) == 0:
                 continue
+            # Static feasibility filter: abstractly interpret each extension
+            # against the evaluator's budget and drop the infeasible ones
+            # before they are ever scored or evaluated.  Infeasibility is a
+            # property of the (parent, strategy) pair, so the mask is
+            # permanently retired for those ops — each pair is checked once.
+            if getattr(self.evaluator, "budget", None) is not None:
+                feasible = np.ones(len(candidates), dtype=bool)
+                for j, i in enumerate(candidates):
+                    child = result.scheme.extend(self.space[int(i)])
+                    if not self.feasible(child):
+                        feasible[j] = False
+                        mask[int(i)] = False
+                candidates = candidates[feasible]
+                if len(candidates) == 0:
+                    continue
             state = self._state_of(result)
             predictions = self.fmo.predict(result.scheme, state, candidates)
             predictions = predictions + self.rng.normal(

@@ -107,10 +107,25 @@ class SearchStrategy:
         self._consumed = 0
         self._front: List[EvaluationResult] = []
         self._best_feasible: Optional[EvaluationResult] = None
+        #: candidates dropped by the static budget filter (zero cost charged)
+        self.budget_pruned = 0
 
     # ------------------------------------------------------------------ #
     def budget_left(self) -> float:
         return self.budget_hours - self.evaluator.total_cost
+
+    def feasible(self, scheme: CompressionScheme) -> bool:
+        """Static budget-feasibility of ``scheme`` (free, pre-evaluation).
+
+        Delegates to the evaluator's cost model when it has one; evaluators
+        outside the core backends (e.g. test doubles) simply accept all
+        schemes.  Infeasible candidates are counted in ``budget_pruned``.
+        """
+        check = getattr(self.evaluator, "is_feasible", None)
+        if check is None or check(scheme):
+            return True
+        self.budget_pruned += 1
+        return False
 
     def _absorb(self, result: EvaluationResult) -> None:
         """Fold one new result into the incremental front / best-feasible."""

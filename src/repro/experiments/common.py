@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from ..analysis.costmodel import Budget
 from ..baselines import EvolutionSearch, RLSearch, RandomSearch
 from ..core.config import EvaluatorConfig
 from ..core.engine import EvaluationEngine
@@ -42,6 +43,23 @@ class ExperimentConfig:
     snapshot_dir: Optional[str] = None  # shared prefix-model snapshot store
     snapshot_budget_mb: Optional[float] = None  # store size cap (default 256)
     journal: Optional[str] = None     # JSONL run-journal path (repro.obs)
+    # Static budget constraints (repro.analysis.costmodel) — candidates the
+    # abstract interpreter proves over budget are rejected before any
+    # evaluation cost is charged.
+    max_params: Optional[int] = None      # S001: post-scheme parameter cap
+    max_flops: Optional[int] = None       # S002: post-scheme FLOPs cap
+    max_act_mem: Optional[int] = None     # S003: peak activation bytes cap
+    max_latency_ms: Optional[float] = None  # S004: latency-proxy cap
+
+    def budget(self) -> Optional[Budget]:
+        """The static :class:`Budget`, or ``None`` when no cap is set."""
+        budget = Budget(
+            max_params=self.max_params,
+            max_flops=self.max_flops,
+            max_act_mem=self.max_act_mem,
+            max_latency_ms=self.max_latency_ms,
+        )
+        return None if budget.is_null else budget
 
     def embedding_config(self) -> EmbeddingConfig:
         return EmbeddingConfig(
@@ -109,6 +127,9 @@ def run_algorithm(
     """
     model_name, dataset_name, task = EXPERIMENTS[exp_name]
     evaluator = make_evaluator(model_name, dataset_name, task, seed=config.seed)
+    budget = config.budget()
+    if budget is not None:
+        evaluator.set_budget(budget)
     if config.snapshot_dir is not None:
         evaluator.set_snapshot_dir(
             config.snapshot_dir, budget_mb=config.snapshot_budget_mb
@@ -159,6 +180,16 @@ def run_algorithm(
                 "snapshot_hits": evaluator.snapshot_hits,
                 "snapshot_steps_saved": evaluator.snapshot_steps_saved,
             }
+        if budget is not None:
+            stats = result.engine_stats or {}
+            # Static-analysis accounting: candidates pruned at generation
+            # time, schemes the engine filtered or S-rejected, plus the
+            # cost model's drift against measured (params, flops).
+            stats["budget_pruned"] = searcher.budget_pruned
+            stats["budget_filtered"] = evaluator.budget_filtered
+            stats["budget_rejects"] = evaluator.budget_rejects
+            stats.update(evaluator.prediction_drift())
+            result.engine_stats = stats
         return result
     finally:
         if isinstance(evaluator, EvaluationEngine):

@@ -47,20 +47,24 @@ def format_attribution(search_results: Dict[str, Dict[str, SearchResult]]) -> st
     One row per (experiment, algorithm): wall-clock seconds, evaluation
     count, simulated GPU-hours, and — when the run went through an
     :class:`~repro.core.engine.EvaluationEngine` — the cache-hit split.
+    Runs with a static budget also report the candidates the cost model
+    pruned for free and its predicted-vs-measured drift.
     """
     lines = [
         "Search attribution (wall-clock vs simulated cost)",
         "",
         f"{'experiment':<8s} {'algorithm':<10s} {'wall[s]':>9s} {'evals':>7s} "
-        f"{'sim[h]':>8s} {'sec/eval':>9s}  engine",
+        f"{'sim[h]':>8s} {'sec/eval':>9s} {'pruned':>7s} {'dP%':>6s} {'dF%':>6s}"
+        f"  engine",
         "-" * 72,
     ]
+    any_budget = False
     for exp_name in sorted(search_results):
         for algo in sorted(search_results[exp_name]):
             result = search_results[exp_name][algo]
             per_eval = result.wall_seconds / max(result.evaluations, 1)
-            if result.engine_stats:
-                stats = result.engine_stats
+            stats = result.engine_stats or {}
+            if "workers" in stats:
                 engine = (
                     f"{stats.get('workers', 0)}w "
                     f"{stats.get('cache_hits', 0)} cached / "
@@ -68,16 +72,34 @@ def format_attribution(search_results: Dict[str, Dict[str, SearchResult]]) -> st
                 )
             else:
                 engine = "-"
+            if "budget_pruned" in stats:
+                any_budget = True
+                pruned = str(
+                    stats.get("budget_pruned", 0)
+                    + stats.get("budget_filtered", 0)
+                    + stats.get("budget_rejects", 0)
+                )
+                drift_p = f"{stats.get('drift_params_pct', 0.0):.2f}"
+                drift_f = f"{stats.get('drift_flops_pct', 0.0):.2f}"
+            else:
+                pruned, drift_p, drift_f = "-", "-", "-"
             lines.append(
                 f"{exp_name:<8s} {algo:<10s} {result.wall_seconds:>9.2f} "
                 f"{result.evaluations:>7d} {result.total_cost:>8.2f} "
-                f"{per_eval:>9.4f}  {engine}"
+                f"{per_eval:>9.4f} {pruned:>7s} {drift_p:>6s} {drift_f:>6s}"
+                f"  {engine}"
             )
     lines.append("")
     lines.append(
         "sec/eval = wall-clock per evaluated scheme; sim[h] is the simulated "
         "GPU-hour budget actually charged (Evaluator.total_cost)."
     )
+    if any_budget:
+        lines.append(
+            "pruned = candidates eliminated by the static cost model at zero "
+            "cost; dP%/dF% = mean absolute predicted-vs-measured drift of the "
+            "cost model on evaluated schemes (params / FLOPs)."
+        )
     return "\n".join(lines)
 
 

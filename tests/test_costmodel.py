@@ -1,0 +1,341 @@
+"""Static cost model: abstract interpretation accuracy and budget pruning.
+
+Three layers of guarantees:
+
+* the abstraction is *exact* on every untouched zoo architecture (params
+  and FLOPs match ``profile_model`` bit for bit);
+* post-scheme predictions stay within the tolerances pinned in
+  ``tests/goldens/costmodel_tolerance.json`` on every architecture;
+* budgets reject statically — zero simulated cost — and pruning the search
+  space up front is observationally identical to post-hoc filtering.
+"""
+
+import copy
+import json
+import os
+
+import pytest
+
+from repro.analysis import Budget, SchemeCostModel, lint_scheme
+from repro.analysis.linter import SchemeRejected
+from repro.compression import EXTENSION_METHODS, METHODS
+from repro.compression.base import ExecutionContext
+from repro.core.config import EvaluatorConfig
+from repro.data.tasks import EXP1, transfer_task
+from repro.models import available_models, create_model, resnet20
+from repro.nn.profile import profile_model
+from repro.space import StrategySpace
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "goldens", "costmodel_tolerance.json")
+
+ALL_METHODS = {**METHODS, **EXTENSION_METHODS}
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN) as handle:
+        return json.load(handle)
+
+
+@pytest.fixture(scope="module")
+def space():
+    return StrategySpace(include_quantization=True)
+
+
+def apply_scheme(model, scheme, base_params):
+    """Run the real surgery for ``scheme`` on ``model`` (no training)."""
+    ctx = ExecutionContext(original_params=base_params, train_enabled=False)
+    for strategy in scheme:
+        ALL_METHODS[strategy.method_label].apply(model, strategy.hp, ctx)
+    return model
+
+
+# --------------------------------------------------------------------------- #
+# Exactness on base models
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("name", available_models())
+def test_base_model_exact(name):
+    model = create_model(name)
+    measured = profile_model(model)
+    predicted = SchemeCostModel(model).base_prediction
+    assert predicted.params == measured.params
+    assert predicted.flops == measured.flops
+    assert predicted.act_mem > 0
+    assert predicted.latency_ms > 0
+
+
+# --------------------------------------------------------------------------- #
+# Post-scheme tolerance, pinned per golden
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("name", available_models())
+def test_post_scheme_within_tolerance(name, golden, space):
+    base = create_model(name)
+    cost_model = SchemeCostModel(base)
+    for text in golden["scheme_battery"]:
+        scheme = space.parse_scheme(text)
+        measured = profile_model(
+            apply_scheme(copy.deepcopy(base), scheme, cost_model.base_params)
+        )
+        predicted = cost_model.predict(scheme)
+        drift_params = 100.0 * abs(predicted.params - measured.params) / measured.params
+        drift_flops = 100.0 * abs(predicted.flops - measured.flops) / measured.flops
+        assert drift_params <= golden["params_pct"], (name, text, drift_params)
+        assert drift_flops <= golden["flops_pct"], (name, text, drift_flops)
+
+
+def test_quantization_affects_weight_memory_only(space):
+    model = resnet20(num_classes=10)
+    cost_model = SchemeCostModel(model)
+    scheme = space.parse_scheme("C7[HP1=0.1,HP17=5,HP18=0.5]")
+    base = cost_model.base_prediction
+    predicted = cost_model.predict(scheme)
+    assert predicted.params == base.params
+    assert predicted.flops == base.flops
+    assert predicted.weight_bits == 5
+    assert predicted.weight_mem < base.weight_mem
+
+
+# --------------------------------------------------------------------------- #
+# Budgets and S-rules
+# --------------------------------------------------------------------------- #
+def test_budget_null_and_payload_roundtrip():
+    assert Budget().is_null
+    budget = Budget(max_params=100, max_latency_ms=1.5)
+    assert not budget.is_null
+    assert Budget.from_payload(budget.to_payload()) == budget
+    assert Budget.from_payload(None) is None
+
+
+def test_s_rules_fire_per_dimension(space):
+    cost_model = SchemeCostModel(resnet20(num_classes=10))
+    scheme = space.parse_scheme("C3[HP1=0.1,HP2=0.12,HP6=0.7]")
+    prediction = cost_model.predict(scheme)
+    budget = Budget(
+        max_params=prediction.params - 1,
+        max_flops=prediction.flops - 1,
+        max_act_mem=prediction.act_mem - 1,
+        max_latency_ms=prediction.latency_ms / 2,
+    )
+    report = lint_scheme(scheme, budget=budget, cost_model=cost_model)
+    assert {d.rule for d in report.errors} == {"S001", "S002", "S003", "S004"}
+    # A generous budget is clean.
+    ok = lint_scheme(
+        scheme, budget=Budget(max_params=prediction.params), cost_model=cost_model
+    )
+    assert not ok.has_errors
+
+
+def test_s_rules_skipped_when_l_rules_fail(space):
+    """Malformed schemes are not cost-predicted (L-rules short-circuit)."""
+    scheme = space.parse_scheme(
+        "C3[HP1=0.1,HP2=0.44,HP6=0.9] -> C3[HP1=0.1,HP2=0.44,HP6=0.9]"
+        " -> C3[HP1=0.1,HP2=0.44,HP6=0.9]"
+    )
+    cost_model = SchemeCostModel(resnet20(num_classes=10))
+    report = lint_scheme(
+        scheme, budget=Budget(max_params=1), cost_model=cost_model
+    )
+    assert report.has_errors
+    assert not any(d.rule.startswith("S") for d in report.errors)
+
+
+# --------------------------------------------------------------------------- #
+# Evaluator integration: rejection costs nothing
+# --------------------------------------------------------------------------- #
+def make_evaluator(budget=None, seed=0):
+    from repro.core.evaluator import SurrogateEvaluator
+
+    task = transfer_task(EXP1, "resnet20", 0.27, 0.08, EXP1.model_accuracy)
+    return SurrogateEvaluator(
+        lambda: resnet20(num_classes=10),
+        "resnet20",
+        "cifar10",
+        task,
+        config=EvaluatorConfig(seed=seed, budget=budget),
+    )
+
+
+def tight_budget():
+    """Rejects shallow schemes on resnet20 (base 272k params)."""
+    return Budget(max_params=170_000)
+
+
+def test_budget_rejection_is_free(space):
+    evaluator = make_evaluator(budget=tight_budget())
+    shallow = space.parse_scheme("C3[HP1=0.1,HP2=0.12,HP6=0.7]")
+    before = evaluator.total_cost
+    with pytest.raises(SchemeRejected) as excinfo:
+        evaluator.evaluate(shallow)
+    assert any(d.rule == "S001" for d in excinfo.value.report.errors)
+    assert evaluator.total_cost == before
+    assert evaluator.budget_rejects == 1
+    assert evaluator.rejected_count == 1
+    # A deep-enough scheme passes and gets a drift record.
+    deep = space.parse_scheme("C3[HP1=0.1,HP2=0.44,HP6=0.9]")
+    assert evaluator.is_feasible(deep)
+    result = evaluator.evaluate(deep)
+    assert result.params <= 170_000
+    drift = evaluator.prediction_drift()
+    assert drift["predicted_evals"] >= 1
+    assert drift["drift_params_pct"] < 5.0
+
+
+def test_is_feasible_counts_filtered(space):
+    evaluator = make_evaluator(budget=tight_budget())
+    shallow = space.parse_scheme("C3[HP1=0.1,HP2=0.12,HP6=0.7]")
+    assert not evaluator.is_feasible(shallow)
+    assert evaluator.budget_filtered == 1
+    assert evaluator.total_cost == 0.0
+
+
+def test_set_budget_round_trip(space):
+    evaluator = make_evaluator()
+    shallow = space.parse_scheme("C3[HP1=0.1,HP2=0.12,HP6=0.7]")
+    assert evaluator.is_feasible(shallow)
+    evaluator.set_budget(tight_budget())
+    assert not evaluator.is_feasible(shallow)
+    evaluator.set_budget(None)
+    assert evaluator.budget is None
+    assert evaluator.is_feasible(shallow)
+
+
+def test_budget_excluded_from_fingerprint():
+    plain = make_evaluator().config.fingerprint_payload()
+    budgeted = make_evaluator(budget=tight_budget()).config.fingerprint_payload()
+    assert plain == budgeted
+
+
+# --------------------------------------------------------------------------- #
+# Pruned search == post-hoc filtered search
+# --------------------------------------------------------------------------- #
+def sample_schemes(space, count=30, seed=7):
+    """Uniform scheme draws, mirroring SearchStrategy.random_scheme."""
+    import numpy as np
+
+    from repro.space.scheme import CompressionScheme
+
+    rng = np.random.default_rng(seed)
+    schemes = []
+    while len(schemes) < count:
+        length = int(rng.integers(1, 6))
+        scheme = CompressionScheme()
+        for _ in range(length):
+            for _ in range(20):
+                strategy = space[int(rng.integers(0, len(space)))]
+                if scheme.total_param_step + strategy.param_step <= 0.9:
+                    scheme = scheme.extend(strategy)
+                    break
+        if not scheme.is_empty:
+            schemes.append(scheme)
+    return schemes
+
+
+def test_static_pruning_matches_posthoc_filter():
+    """A budget kills >=30% of candidates for free; survivors' results are
+    bit-identical to evaluating everything and filtering afterwards."""
+    space = StrategySpace()
+    budget = Budget(max_params=130_000)  # ~52% PR floor on resnet20
+    schemes = sample_schemes(space)
+
+    unbudgeted = make_evaluator()
+    all_results = unbudgeted.evaluate_many(schemes)
+    cost_model = unbudgeted.cost_model
+    keep = [cost_model.feasible(s, budget) for s in schemes]
+    survivors = [s for s, ok in zip(schemes, keep) if ok]
+    rejected = len(schemes) - len(survivors)
+    assert rejected / len(schemes) >= 0.30
+
+    budgeted = make_evaluator(budget=budget)
+    assert [budgeted.is_feasible(s) for s in schemes] == keep
+    pruned_results = budgeted.evaluate_many(survivors)
+    posthoc = {r.scheme.identifier: r for r in all_results}
+    for result in pruned_results:
+        other = posthoc[result.scheme.identifier]
+        assert result.accuracy == other.accuracy
+        assert result.params == other.params
+        assert result.flops == other.flops
+        assert result.cost == other.cost
+    # and the budget charged nothing for the rejected candidates
+    assert budgeted.total_cost == pytest.approx(
+        sum(r.cost for r in pruned_results)
+    )
+
+
+def test_search_strategy_feasible_counter():
+    from repro.core.search import SearchStrategy
+
+    space = StrategySpace()
+    evaluator = make_evaluator(budget=tight_budget())
+    searcher = SearchStrategy(evaluator, space)
+    shallow = space.parse_scheme("C3[HP1=0.1,HP2=0.12,HP6=0.7]")
+    deep = space.parse_scheme("C3[HP1=0.1,HP2=0.44,HP6=0.9]")
+    assert searcher.feasible(deep)
+    assert not searcher.feasible(shallow)
+    assert searcher.budget_pruned == 1
+
+
+def test_random_search_prunes_statically(tmp_path):
+    """RandomSearch under a budget: pruning is free and journaled."""
+    from repro.baselines import RandomSearch
+    from repro.obs import RunJournal, Tracer, attach_tracer
+
+    journal = tmp_path / "run.jsonl"
+    evaluator = make_evaluator(budget=Budget(max_params=130_000))
+    tracer = Tracer(journal=RunJournal(str(journal)))
+    attach_tracer(evaluator, tracer)
+    searcher = RandomSearch(
+        evaluator, StrategySpace(), gamma=0.3, budget_hours=1.0, seed=3
+    )
+    result = searcher.run()
+    tracer.close()
+    assert searcher.budget_pruned > 0
+    assert evaluator.budget_filtered == searcher.budget_pruned
+    for r in result.all_results:
+        assert r.params <= 130_000
+    text = journal.read_text()
+    assert "budget_filter" in text
+    assert "predicted_params" in text
+
+
+def test_experiment_config_budget():
+    from repro.experiments.common import ExperimentConfig
+
+    assert ExperimentConfig().budget() is None
+    config = ExperimentConfig(max_params=123, max_latency_ms=2.0)
+    budget = config.budget()
+    assert budget == Budget(max_params=123, max_latency_ms=2.0)
+
+
+# --------------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------------- #
+def test_cli_analyze_space(capsys):
+    from repro.cli import main
+
+    code = main([
+        "analyze", "space", "--target-model", "resnet20",
+        "--max-params", "150000", "--max-flops", "40000000",
+        "--samples", "60",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "statically eliminated" in out
+    assert "S001" in out or "S002" in out
+
+
+def test_cli_analyze_space_needs_a_cap(capsys):
+    from repro.cli import main
+
+    assert main(["analyze", "space"]) == 2
+
+
+def test_cli_analyze_scheme_with_budget(capsys):
+    from repro.cli import main
+
+    code = main([
+        "analyze", "resnet20", "--scheme", "C3[HP1=0.5,HP2=0.2,HP6=0.9]",
+        "--max-params", "100000",
+    ])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "S001" in out
