@@ -26,6 +26,16 @@ R003  every registered runtime op needs a FLOPs rule
       ``costmodel.OP_FLOP_RULES`` — otherwise abstract predictions
       silently diverge from ``profile_model`` on models using the new op.
 
+R004  every ``Solver`` subclass must be registered
+      Solvers are looked up by name through the registry in
+      :mod:`repro.core.solver` (``AutoMC(solver=...)``, ``repro search
+      --solver``, the experiment harnesses).  A ``Solver`` subclass
+      without ``@register_solver("name")`` is unreachable from every
+      public entry point — dead code that silently drifts from the
+      driver contract.  Only *direct* subclasses are checked; refining
+      an already-registered solver re-registers under the parent's name
+      automatically.
+
 Run as ``python -m repro.analysis.repolint`` (CI runs it next to ruff).
 Exit status 1 when any violation is found.
 """
@@ -43,6 +53,7 @@ R_RULES = {
     "R001": "builtin hash() call (use repro.core.evaluator.stable_hash)",
     "R002": "float64 in a repro.nn hot-path module",
     "R003": "registered op missing from costmodel.OP_FLOP_RULES",
+    "R004": "Solver subclass without @register_solver",
 }
 
 #: repro.nn modules whose kernels must stay float32-clean (R002)
@@ -138,6 +149,48 @@ def check_flop_rules(tree: ast.AST, path: str) -> List[Violation]:
     return found
 
 
+def _base_is_solver(node: ast.AST) -> bool:
+    """A base-class expression naming ``Solver`` (bare or attribute)."""
+    if isinstance(node, ast.Name):
+        return node.id == "Solver"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "Solver"
+    return False
+
+
+def _is_register_solver(node: ast.AST) -> bool:
+    """A decorator of the form ``@register_solver(...)``."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "register_solver"
+    if isinstance(func, ast.Attribute):
+        return func.attr == "register_solver"
+    return False
+
+
+def check_solver_registration(tree: ast.AST, path: str) -> List[Violation]:
+    """R004: direct ``Solver`` subclasses must carry ``@register_solver``."""
+    found = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if not any(_base_is_solver(base) for base in node.bases):
+            continue
+        if any(_is_register_solver(dec) for dec in node.decorator_list):
+            continue
+        found.append(
+            Violation(
+                "R004", path, node.lineno,
+                f"class {node.name} subclasses Solver but has no "
+                f"@register_solver(...) decorator — it is unreachable from "
+                f"the solver registry (repro.core.solver)",
+            )
+        )
+    return found
+
+
 def python_files(root: str) -> Iterable[str]:
     for dirpath, dirnames, filenames in os.walk(root):
         dirnames[:] = sorted(d for d in dirnames if not d.startswith("__pycache__"))
@@ -156,6 +209,7 @@ def lint_path(path: str) -> List[Violation]:
         return [Violation("R000", path, exc.lineno or 0, f"syntax error: {exc.msg}")]
 
     violations = check_hash_calls(tree, path)
+    violations.extend(check_solver_registration(tree, path))
     normalized = path.replace(os.sep, "/")
     if "/nn/" in normalized and os.path.basename(path) in NN_HOT_PATH_MODULES:
         violations.extend(check_float64(tree, path))

@@ -1,16 +1,34 @@
-"""AutoML baselines compared against AutoMC (§4.1)."""
+"""AutoML baselines compared against AutoMC (§4.1).
 
-from .evolution import EvolutionSearch
-from .grid import GridSearchOutcome, run_all_human_methods, run_human_method
-from .random_search import RandomSearch
-from .rl import ControllerRNN, RLSearch
+Every search algorithm here is a registered :class:`repro.core.solver.Solver`
+(``random``, ``evolution``, ``grid``, ``rl``, ``sa``, ``regevo``, ``amc``);
+the ``*Search`` classes are deprecated facades kept for import
+compatibility.
+"""
+
+from .amc import AMCSolver
+from .evolution import EvolutionSearch, EvolutionSolver
+from .grid import GridSearchOutcome, GridSolver, run_all_human_methods, run_human_method
+from .moves import mutate_scheme
+from .random_search import RandomSearch, RandomSolver
+from .regevo import RegularizedEvolutionSolver
+from .rl import ControllerRNN, RLSearch, RLSolver
+from .sa import SimulatedAnnealingSolver
 
 __all__ = [
+    "AMCSolver",
     "ControllerRNN",
     "EvolutionSearch",
+    "EvolutionSolver",
     "GridSearchOutcome",
+    "GridSolver",
     "RLSearch",
+    "RLSolver",
     "RandomSearch",
+    "RandomSolver",
+    "RegularizedEvolutionSolver",
+    "SimulatedAnnealingSolver",
+    "mutate_scheme",
     "run_all_human_methods",
     "run_human_method",
 ]

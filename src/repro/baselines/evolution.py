@@ -8,30 +8,43 @@ crossover.  Every offspring evaluation charges the shared simulated budget.
 
 from __future__ import annotations
 
-from typing import List
+import warnings
+from typing import Dict, List
 
 import numpy as np
 
+from ..core.evaluator import EvaluationResult
 from ..core.pareto import crowding_distance, nondominated_sort
 from ..core.search import SearchResult, SearchStrategy
+from ..core.solver import Solver, register_solver
 from ..space.scheme import CompressionScheme
 
 
-class EvolutionSearch(SearchStrategy):
-    """NSGA-II over complete compression schemes."""
+@register_solver("evolution", label="Evolution")
+class EvolutionSolver(Solver):
+    """NSGA-II over complete compression schemes.
 
-    name = "Evolution"
+    Round 0 proposes the random initial population; each later round is one
+    generation: binary-tournament parent selection, mutation/crossover
+    offspring, then environmental selection over parents + offspring.
+    Variation consumes only the strategy rng, so generating the whole
+    generation before submitting it through ``evaluate_many`` (and any
+    engine workers behind it) replays the serial trajectory.
+    """
 
     def __init__(
         self,
-        *args,
+        strategy: SearchStrategy,
         population_size: int = 16,
         offspring_per_generation: int = 8,
-        **kwargs,
     ):
-        super().__init__(*args, **kwargs)
+        super().__init__(strategy)
         self.population_size = population_size
         self.offspring_per_generation = offspring_per_generation
+        self._population: List[CompressionScheme] = []
+        self._offspring: List[CompressionScheme] = []
+        self._known: Dict[str, EvaluationResult] = {}
+        self._seeded = False
 
     # ------------------------------------------------------------------ #
     def _mutate(self, scheme: CompressionScheme) -> CompressionScheme:
@@ -54,7 +67,7 @@ class EvolutionSearch(SearchStrategy):
             return scheme
         # Statically-infeasible children fall back to the parent, exactly
         # like the nominal-PR guard above — no evaluation cost is charged.
-        if not self.feasible(mutated):
+        if not self.strategy.feasible(mutated):
             return scheme
         return mutated
 
@@ -65,59 +78,67 @@ class EvolutionSearch(SearchStrategy):
         child = child.prefix(self.max_length)
         if child.is_empty or child.total_param_step > 0.9:
             return a
-        if not self.feasible(child):
+        if not self.strategy.feasible(child):
             return a
         return child
 
     # ------------------------------------------------------------------ #
-    def run(self) -> SearchResult:
-        # Seed the population, then evaluate it as one batch — variation and
-        # selection consume only self.rng, so generating a full generation
-        # before submitting it through evaluate_many (and any engine workers
-        # behind it) replays the serial trajectory.
-        population: List[CompressionScheme] = []
-        while len(population) < self.population_size and self.budget_left() > 0:
-            scheme = self.random_scheme()
-            if not scheme.is_empty:
-                population.append(scheme)
-        if population:
-            self.evaluator.evaluate_many(population)
-        self.record()
+    def propose(self, state: SearchStrategy) -> List[CompressionScheme]:
+        if not self._seeded:
+            population: List[CompressionScheme] = []
+            while len(population) < self.population_size and state.budget_left() > 0:
+                scheme = state.random_scheme()
+                if not scheme.is_empty:
+                    population.append(scheme)
+            self._population = population
+            self._offspring = []
+            return list(population)
+        if not self._population:
+            return []
+        points = np.stack(
+            [self._known[s.identifier].objectives for s in self._population]
+        )
+        offspring: List[CompressionScheme] = []
+        for _ in range(self.offspring_per_generation):
+            i, j = self.rng.integers(0, len(self._population), size=2)
+            # Binary tournament on domination rank then crowding.
+            parent = (
+                self._population[int(i)]
+                if self._beats(points, int(i), int(j))
+                else self._population[int(j)]
+            )
+            if self.rng.random() < 0.3 and len(self._population) >= 2:
+                other = self._population[int(self.rng.integers(len(self._population)))]
+                child = self._crossover(parent, other)
+            else:
+                child = self._mutate(parent)
+            offspring.append(child)
+        self._offspring = offspring
+        self._round_attrs = {"population": len(self._population)}
+        return offspring
 
-        generation = 0
-        while self.budget_left() > 0 and population:
-            with self.tracer.span(
-                "search.round",
-                algorithm=self.name,
-                round=generation,
-                population=len(population),
-            ) as round_span:
-                results = self.evaluator.evaluate_many(population)  # cache hits
-                points = np.stack([r.objectives for r in results])
-
-                offspring: List[CompressionScheme] = []
-                for _ in range(self.offspring_per_generation):
-                    i, j = self.rng.integers(0, len(population), size=2)
-                    # Binary tournament on domination rank then crowding.
-                    parent = population[int(i)] if self._beats(points, int(i), int(j)) else population[int(j)]
-                    if self.rng.random() < 0.3 and len(population) >= 2:
-                        other = population[int(self.rng.integers(len(population)))]
-                        child = self._crossover(parent, other)
-                    else:
-                        child = self._mutate(parent)
-                    offspring.append(child)
-                if offspring:
-                    self.evaluator.evaluate_many(offspring)
-
-                merged = population + offspring
-                merged_results = self.evaluator.evaluate_many(merged)
-                merged_points = np.stack([r.objectives for r in merged_results])
-                population = self._environmental_selection(merged, merged_points)
-                round_span.set(offspring=len(offspring), survivors=len(population))
-                self.record()
-            generation += 1
-
-        return self.finish()
+    def observe(self, results: List[EvaluationResult]) -> None:
+        for result in results:
+            self._known[result.scheme.identifier] = result
+        if not self._seeded:
+            self._seeded = True
+            # keep only members the driver actually evaluated
+            self._population = [
+                s for s in self._population if s.identifier in self._known
+            ]
+            return
+        survivors = [s for s in self._offspring if s.identifier in self._known]
+        merged = self._population + survivors
+        if not merged:
+            self._population = []
+            return
+        merged_points = np.stack(
+            [self._known[s.identifier].objectives for s in merged]
+        )
+        self._population = self._environmental_selection(merged, merged_points)
+        self._round_attrs.update(
+            offspring=len(self._offspring), survivors=len(self._population)
+        )
 
     # ------------------------------------------------------------------ #
     @staticmethod
@@ -151,3 +172,41 @@ class EvolutionSearch(SearchStrategy):
                 seen.add(key)
                 unique.append(schemes[i])
         return unique
+
+
+class EvolutionSearch(SearchStrategy):
+    """Deprecated facade — use ``get_solver("evolution")`` / ``run_solver``."""
+
+    name = "Evolution"
+
+    # exposed for callers that used the staticmethod off the class
+    _beats = staticmethod(EvolutionSolver._beats)
+
+    def __init__(
+        self,
+        *args,
+        population_size: int = 16,
+        offspring_per_generation: int = 8,
+        **kwargs,
+    ):
+        warnings.warn(
+            "EvolutionSearch is deprecated; use repro.core.solver.run_solver"
+            "('evolution', evaluator, space, ...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(*args, **kwargs)
+        self._solver = EvolutionSolver(
+            self,
+            population_size=population_size,
+            offspring_per_generation=offspring_per_generation,
+        )
+
+    def run(self) -> SearchResult:
+        return self._solver.run()
+
+    def __getattr__(self, item):
+        solver = self.__dict__.get("_solver")
+        if solver is None:
+            raise AttributeError(item)
+        return getattr(solver, item)

@@ -11,10 +11,12 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.evaluator import EvaluationResult
 from ..core.interface import Evaluator
+from ..core.search import SearchStrategy
+from ..core.solver import Solver, register_solver
 from ..obs import NULL_TRACER
 from ..space.hyperparams import HP_GRID, METHOD_HPS
 from ..space.scheme import CompressionScheme
@@ -119,3 +121,49 @@ def run_all_human_methods(
         )
         for label in method_labels
     ]
+
+
+@register_solver("grid", label="Grid")
+class GridSolver(Solver):
+    """Exhaustive single-method grid search on the shared solver loop.
+
+    One round per (method, target-PR) cell: the cell's strategies are the
+    grid points of that method whose HP2 is nearest the target, capped at
+    ``max_evals_per_round`` and submitted as one batch.  Unlike
+    :func:`run_human_method` this stays inside the strategy space (single-
+    strategy schemes only), so the run is comparable to the other solvers
+    and reuses the driver's budget gate instead of ad-hoc filtering.
+    """
+
+    def __init__(
+        self,
+        strategy: SearchStrategy,
+        targets: Sequence[float] = (0.4, 0.7),
+        max_evals_per_round: int = 24,
+    ):
+        super().__init__(strategy)
+        self.targets = tuple(targets)
+        self.max_evals_per_round = max_evals_per_round
+        self._cells: List[Tuple[str, float]] = [
+            (label, target)
+            for target in self.targets
+            for label in strategy.space.method_labels
+        ]
+        self._cursor = 0
+
+    def done(self) -> bool:
+        return self._cursor >= len(self._cells)
+
+    def propose(self, state: SearchStrategy) -> List[CompressionScheme]:
+        label, target = self._cells[self._cursor]
+        self._cursor += 1
+        candidates = self.space.of_method(label)
+        if candidates and "HP2" in candidates[0].hp:
+            values = sorted({float(s.hp["HP2"]) for s in candidates})
+            nearest = min(values, key=lambda v: abs(v - target))
+            candidates = [s for s in candidates if float(s.hp["HP2"]) == nearest]
+        self._round_attrs = {"method": label, "target_pr": target}
+        return [
+            CompressionScheme((s,))
+            for s in candidates[: self.max_evals_per_round]
+        ]

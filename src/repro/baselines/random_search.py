@@ -2,42 +2,60 @@
 
 from __future__ import annotations
 
+import warnings
+from typing import List
+
 from ..core.search import SearchResult, SearchStrategy
+from ..core.solver import Solver, register_solver
+from ..space.scheme import CompressionScheme
+
+
+@register_solver("random", label="Random")
+class RandomSolver(Solver):
+    """Evaluate uniformly random schemes until the budget runs out.
+
+    One batch of ``record_every`` draws per round / trajectory snapshot:
+    generation consumes only the strategy rng, so batching through
+    ``evaluate_many`` (and any engine workers behind it) preserves the
+    serial scheme sequence.  Statically-infeasible draws are pruned by the
+    driver gate for free.
+    """
+
+    def __init__(self, strategy: SearchStrategy, record_every: int = 5):
+        super().__init__(strategy)
+        self.record_every = record_every
+
+    def propose(self, state: SearchStrategy) -> List[CompressionScheme]:
+        batch: List[CompressionScheme] = []
+        attempts = 0
+        while len(batch) < self.record_every and attempts < 4 * self.record_every:
+            scheme = state.random_scheme()
+            attempts += 1
+            if not scheme.is_empty:
+                batch.append(scheme)
+        return batch
 
 
 class RandomSearch(SearchStrategy):
-    """Evaluate uniformly random schemes until the budget runs out."""
+    """Deprecated facade — use ``get_solver("random")`` / ``run_solver``."""
 
     name = "Random"
 
     def __init__(self, *args, record_every: int = 5, **kwargs):
+        warnings.warn(
+            "RandomSearch is deprecated; use repro.core.solver.run_solver"
+            "('random', evaluator, space, ..., record_every=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         super().__init__(*args, **kwargs)
-        self.record_every = record_every
+        self._solver = RandomSolver(self, record_every=record_every)
 
     def run(self) -> SearchResult:
-        self.record()
-        round_index = 0
-        while self.budget_left() > 0:
-            # One batch per trajectory snapshot: generation consumes only
-            # self.rng, so batching through evaluate_many (and any engine
-            # workers behind it) preserves the serial scheme sequence.
-            batch = []
-            attempts = 0
-            while len(batch) < self.record_every and attempts < 4 * self.record_every:
-                scheme = self.random_scheme()
-                attempts += 1
-                # Statically-infeasible schemes are skipped for free (the
-                # draw still consumed self.rng, keeping sequences aligned
-                # with an unfiltered run over the surviving schemes).
-                if not scheme.is_empty and self.feasible(scheme):
-                    batch.append(scheme)
-            if not batch:
-                break
-            with self.tracer.span(
-                "search.round", algorithm=self.name, round=round_index, batch=len(batch)
-            ):
-                self.evaluator.evaluate_many(batch)
-                self.record()
-            round_index += 1
-        self.record()
-        return self.finish()
+        return self._solver.run()
+
+    def __getattr__(self, item):
+        solver = self.__dict__.get("_solver")
+        if solver is None:
+            raise AttributeError(item)
+        return getattr(solver, item)

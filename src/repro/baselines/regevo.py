@@ -1,0 +1,75 @@
+"""Regularized evolution: aging tournament over complete schemes.
+
+Real et al.'s regularized evolution, distinct from the NSGA-II baseline in
+two ways: selection is a *tournament* on the shared scalar reward (not
+non-dominated sorting), and survival is by *age* — every child enters a
+FIFO population and the oldest member dies when the population overflows,
+so no individual survives on fitness alone.  Mutation is the shared
+single-edit move; each round's children are one ``evaluate_many`` batch.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Tuple
+
+from ..core.evaluator import EvaluationResult
+from ..core.search import SearchStrategy
+from ..core.solver import Solver, register_solver
+from ..space.scheme import CompressionScheme
+from .moves import mutate_scheme
+
+
+@register_solver("regevo", label="RegEvo")
+class RegularizedEvolutionSolver(Solver):
+    """Aging evolution with k-way tournament parent selection."""
+
+    def __init__(
+        self,
+        strategy: SearchStrategy,
+        population_size: int = 16,
+        tournament_size: int = 4,
+        children_per_round: int = 8,
+    ):
+        super().__init__(strategy)
+        self.population_size = population_size
+        self.tournament_size = tournament_size
+        self.children_per_round = children_per_round
+        #: FIFO of (scheme, scalar reward) — left end is the oldest
+        self._population: Deque[Tuple[CompressionScheme, float]] = deque()
+        self._seeded = False
+
+    # ------------------------------------------------------------------ #
+    def propose(self, state: SearchStrategy) -> List[CompressionScheme]:
+        if not self._seeded:
+            seeds: List[CompressionScheme] = []
+            attempts = 0
+            while (
+                len(seeds) < self.population_size
+                and attempts < 4 * self.population_size
+            ):
+                scheme = state.random_scheme()
+                attempts += 1
+                if not scheme.is_empty:
+                    seeds.append(scheme)
+            return seeds
+        if not self._population:
+            return []
+        pool = list(self._population)
+        children: List[CompressionScheme] = []
+        for _ in range(self.children_per_round):
+            k = min(self.tournament_size, len(pool))
+            picks = self.rng.choice(len(pool), size=k, replace=False)
+            parent = max((pool[int(i)] for i in picks), key=lambda entry: entry[1])[0]
+            children.append(
+                mutate_scheme(parent, self.space, self.rng, self.max_length)
+            )
+        return children
+
+    def observe(self, results: List[EvaluationResult]) -> None:
+        self._seeded = self._seeded or bool(results)
+        for result in results:
+            self._population.append((result.scheme, self.scalar_reward(result)))
+            while len(self._population) > self.population_size:
+                self._population.popleft()  # aging: the oldest dies
+        self._round_attrs = {"population": len(self._population)}

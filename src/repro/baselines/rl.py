@@ -17,6 +17,7 @@ reinforced; no intermediate information is reused.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Tuple
 
 import numpy as np
@@ -26,7 +27,9 @@ from ..nn import functional as F
 from ..space.hyperparams import HP_GRID, METHOD_HPS
 from ..space.scheme import CompressionScheme
 from ..space.strategy import make_strategy
+from ..core.evaluator import EvaluationResult
 from ..core.search import SearchResult, SearchStrategy
+from ..core.solver import Solver, register_solver
 
 
 class ControllerRNN(Module):
@@ -57,18 +60,28 @@ class ControllerRNN(Module):
         return (self.w_x(x) + self.w_h(hidden)).tanh()
 
 
-class RLSearch(SearchStrategy):
-    """Non-progressive REINFORCE over complete schemes."""
+@register_solver("rl", label="RL")
+class RLSolver(Solver):
+    """Non-progressive REINFORCE over complete schemes.
 
-    name = "RL"
+    The controller is only updated after each batch, so sampling the whole
+    batch first is independent of the evaluations and an engine can fan the
+    batch out across workers.
+    """
 
-    def __init__(self, *args, batch_size: int = 4, learning_rate: float = 5e-3, **kwargs):
-        super().__init__(*args, **kwargs)
+    def __init__(
+        self,
+        strategy: SearchStrategy,
+        batch_size: int = 4,
+        learning_rate: float = 5e-3,
+    ):
+        super().__init__(strategy)
         self.controller = ControllerRNN(self.space.method_labels, seed=self.seed)
         self.optimizer = Adam(self.controller.parameters(), lr=learning_rate)
         self.batch_size = batch_size
         self._baseline = 0.0
         self._baseline_initialised = False
+        self._pending: List[Tuple[CompressionScheme, List[Tensor]]] = []
 
     # ------------------------------------------------------------------ #
     def _sample_scheme(self) -> Tuple[CompressionScheme, List[Tensor]]:
@@ -108,70 +121,75 @@ class RLSearch(SearchStrategy):
             token = method_index
         return scheme, log_probs
 
-    def _reward(self, result) -> float:
-        return result.ar - 2.0 * max(0.0, self.gamma - result.pr)
+    def _reward(self, result: EvaluationResult) -> float:
+        return self.scalar_reward(result)
 
     # ------------------------------------------------------------------ #
+    def propose(self, state: SearchStrategy) -> List[CompressionScheme]:
+        sampled: List[Tuple[CompressionScheme, List[Tensor]]] = []
+        for _ in range(self.batch_size):
+            scheme, log_probs = self._sample_scheme()
+            if scheme.is_empty or not log_probs:
+                continue
+            sampled.append((scheme, log_probs))
+        self._pending = sampled
+        return [scheme for scheme, _ in sampled]
+
+    def observe(self, results: List[EvaluationResult]) -> None:
+        # Statically-infeasible samples were dropped by the driver for free —
+        # the controller still consumed its decisions, but no evaluation cost
+        # was charged and no gradient flows from the sample.
+        by_id = {r.scheme.identifier: r for r in results}
+        batch: List[Tuple[List[Tensor], float]] = [
+            (log_probs, self._reward(by_id[scheme.identifier]))
+            for scheme, log_probs in self._pending
+            if scheme.identifier in by_id
+        ]
+        if not batch:
+            return
+        rewards = np.array([r for _, r in batch])
+        if not self._baseline_initialised:
+            self._baseline = float(rewards.mean())
+            self._baseline_initialised = True
+        # REINFORCE with moving-average baseline.
+        loss = None
+        for log_probs, reward in batch:
+            advantage = reward - self._baseline
+            total_logp = log_probs[0]
+            for lp in log_probs[1:]:
+                total_logp = total_logp + lp
+            term = total_logp * (-advantage)
+            loss = term if loss is None else loss + term
+        loss = loss * (1.0 / len(batch))
+        self.optimizer.zero_grad()
+        loss.backward()
+        self.optimizer.step()
+        self._baseline = 0.9 * self._baseline + 0.1 * float(rewards.mean())
+        self._round_attrs = {"mean_reward": float(rewards.mean())}
+
+
+class RLSearch(SearchStrategy):
+    """Deprecated facade — use ``get_solver("rl")`` / ``run_solver``."""
+
+    name = "RL"
+
+    def __init__(self, *args, batch_size: int = 4, learning_rate: float = 5e-3, **kwargs):
+        warnings.warn(
+            "RLSearch is deprecated; use repro.core.solver.run_solver"
+            "('rl', evaluator, space, ..., batch_size=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(*args, **kwargs)
+        self._solver = RLSolver(
+            self, batch_size=batch_size, learning_rate=learning_rate
+        )
+
     def run(self) -> SearchResult:
-        self.record()
-        round_index = 0
-        while self.budget_left() > 0:
-            # Sample the whole controller batch first (the controller is
-            # only updated after the batch, so sampling is independent of
-            # the evaluations), then submit it through evaluate_many so an
-            # engine can evaluate the batch in parallel.
-            sampled: List[Tuple[CompressionScheme, List[Tensor]]] = []
-            for _ in range(self.batch_size):
-                scheme, log_probs = self._sample_scheme()
-                if scheme.is_empty or not log_probs:
-                    continue
-                # Statically-infeasible samples are dropped for free — the
-                # controller still consumed its decisions, but no evaluation
-                # cost is charged and no gradient flows from the sample.
-                if not self.feasible(scheme):
-                    continue
-                sampled.append((scheme, log_probs))
-            if not sampled:
-                break
-            round_span = (
-                self.tracer.start(
-                    "search.round",
-                    algorithm=self.name,
-                    round=round_index,
-                    batch=len(sampled),
-                )
-                if self.tracer.enabled
-                else None
-            )
-            try:
-                results = self.evaluator.evaluate_many([s for s, _ in sampled])
-                batch: List[Tuple[List[Tensor], float]] = [
-                    (log_probs, self._reward(result))
-                    for (_, log_probs), result in zip(sampled, results)
-                ]
-                rewards = np.array([r for _, r in batch])
-                if not self._baseline_initialised:
-                    self._baseline = float(rewards.mean())
-                    self._baseline_initialised = True
-                # REINFORCE with moving-average baseline.
-                loss = None
-                for log_probs, reward in batch:
-                    advantage = reward - self._baseline
-                    total_logp = log_probs[0]
-                    for lp in log_probs[1:]:
-                        total_logp = total_logp + lp
-                    term = total_logp * (-advantage)
-                    loss = term if loss is None else loss + term
-                loss = loss * (1.0 / len(batch))
-                self.optimizer.zero_grad()
-                loss.backward()
-                self.optimizer.step()
-                self._baseline = 0.9 * self._baseline + 0.1 * float(rewards.mean())
-                self.record()
-                if round_span is not None:
-                    round_span.set(mean_reward=float(rewards.mean()))
-            finally:
-                if round_span is not None:
-                    self.tracer.finish(round_span)
-            round_index += 1
-        return self.finish()
+        return self._solver.run()
+
+    def __getattr__(self, item):
+        solver = self.__dict__.get("_solver")
+        if solver is None:
+            raise AttributeError(item)
+        return getattr(solver, item)

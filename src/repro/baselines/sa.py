@@ -1,0 +1,101 @@
+"""Simulated-annealing solver: Metropolis acceptance over scheme edits.
+
+nn-comp style (see SNIPPETS.md): a handful of independent chains each hold a
+current scheme; every round each chain proposes one edit-move neighbour, the
+whole round is evaluated as a single batch (engine workers / cache apply),
+and each chain accepts its candidate with the Metropolis rule on the shared
+scalar reward ``AR - 2·max(0, γ - PR)``:
+
+    accept if Δ >= 0, else with probability exp(Δ / T)
+
+The temperature follows a geometric schedule ``T ← max(T_min, T·cooling)``
+per round.  Candidates the static budget prunes are treated as rejected
+moves (the chain stays put, nothing is charged).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..core.evaluator import EvaluationResult
+from ..core.search import SearchStrategy
+from ..core.solver import Solver, register_solver
+from ..space.scheme import CompressionScheme
+from .moves import mutate_scheme
+
+
+@register_solver("sa", label="SA")
+class SimulatedAnnealingSolver(Solver):
+    """Parallel-chain simulated annealing over compression schemes."""
+
+    def __init__(
+        self,
+        strategy: SearchStrategy,
+        chains: int = 4,
+        initial_temperature: float = 0.05,
+        cooling: float = 0.9,
+        min_temperature: float = 1e-4,
+    ):
+        super().__init__(strategy)
+        self.chains = chains
+        self.temperature = initial_temperature
+        self.cooling = cooling
+        self.min_temperature = min_temperature
+        #: per-chain (current scheme, current reward); empty until seeded
+        self._states: List[Tuple[CompressionScheme, float]] = []
+        self._candidates: List[CompressionScheme] = []
+        self._seeded = False
+
+    # ------------------------------------------------------------------ #
+    def propose(self, state: SearchStrategy) -> List[CompressionScheme]:
+        if not self._seeded:
+            seeds: List[CompressionScheme] = []
+            for _ in range(self.chains):
+                for _ in range(10):
+                    scheme = state.random_scheme()
+                    if not scheme.is_empty:
+                        seeds.append(scheme)
+                        break
+            self._candidates = seeds
+            return list(seeds)
+        if not self._states:
+            return []
+        candidates = [
+            mutate_scheme(scheme, self.space, self.rng, self.max_length)
+            for scheme, _ in self._states
+        ]
+        self._candidates = candidates
+        self._round_attrs = {"temperature": round(self.temperature, 6)}
+        return candidates
+
+    def observe(self, results: List[EvaluationResult]) -> None:
+        by_id = {r.scheme.identifier: r for r in results}
+        if not self._seeded:
+            # One chain per evaluated seed; budget-pruned seeds simply make
+            # the chain population smaller.
+            self._states = [
+                (r.scheme, self.scalar_reward(r)) for r in results
+            ]
+            self._seeded = bool(results)
+            return
+        next_states: List[Tuple[CompressionScheme, float]] = []
+        accepted = 0
+        for (scheme, reward), candidate in zip(self._states, self._candidates):
+            result = by_id.get(candidate.identifier)
+            if result is None:  # pruned by the budget gate: rejected move
+                next_states.append((scheme, reward))
+                continue
+            candidate_reward = self.scalar_reward(result)
+            delta = candidate_reward - reward
+            if delta >= 0 or self.rng.random() < np.exp(
+                delta / max(self.temperature, 1e-12)
+            ):
+                next_states.append((result.scheme, candidate_reward))
+                accepted += 1
+            else:
+                next_states.append((scheme, reward))
+        self._states = next_states
+        self.temperature = max(self.min_temperature, self.temperature * self.cooling)
+        self._round_attrs.update(accepted=accepted)

@@ -59,7 +59,8 @@ def cmd_search(args) -> int:
     from .experiments.common import run_algorithm
 
     exp = {"exp1": "Exp1", "exp2": "Exp2"}[args.experiment]
-    result = run_algorithm(args.algorithm, exp, _config(args))
+    name = args.solver if getattr(args, "solver", None) else args.algorithm
+    result = run_algorithm(name, exp, _config(args))
     print(result.summary())
     if result.engine_stats is not None:
         stats = result.engine_stats
@@ -103,15 +104,41 @@ def cmd_trace(args) -> int:
 
     from .obs import summarize_journal
 
-    try:
-        summary = summarize_journal(args.journal)
-    except FileNotFoundError:
-        print(f"no such journal: {args.journal}", file=sys.stderr)
-        return 2
+    journals = [args.journal] + list(getattr(args, "more_journals", []) or [])
+    summaries = []
+    for path in journals:
+        try:
+            summaries.append(summarize_journal(path))
+        except FileNotFoundError:
+            print(f"no such journal: {path}", file=sys.stderr)
+            return 2
     if args.json:
-        print(json.dumps(summary.to_dict(), indent=2, sort_keys=True))
-    else:
-        print(summary.format())
+        payload = (
+            summaries[0].to_dict()
+            if len(summaries) == 1
+            else [s.to_dict() for s in summaries]
+        )
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    if len(summaries) == 1:
+        print(summaries[0].format())
+        return 0
+    # Multiple journals: group runs by the solver recorded in the header.
+    groups: dict = {}
+    for summary in summaries:
+        groups.setdefault(summary.solver or "unknown", []).append(summary)
+    for solver in sorted(groups):
+        members = groups[solver]
+        cost = sum(s.sim_cost_total for s in members)
+        evals = sum(s.fresh_evaluations for s in members)
+        rounds = sum(s.rounds for s in members)
+        print(
+            f"solver {solver}: {len(members)} run(s), {evals} evaluations, "
+            f"{rounds} rounds, {cost:.4f} sim-h"
+        )
+        for summary in members:
+            print(f"  {summary.path}: {summary.fresh_evaluations} fresh, "
+                  f"{summary.sim_cost_total:.4f} sim-h")
     return 0
 
 
@@ -392,10 +419,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("search", help="run one search algorithm on Exp1/Exp2")
+    p = sub.add_parser(
+        "search",
+        help="run one search algorithm on Exp1/Exp2",
+        description="Run one solver from the registry (repro.core.solver) on "
+                    "Exp1/Exp2 under the shared simulated budget.",
+        epilog="examples:\n"
+               "  repro search exp1 --solver progressive --budget 8\n"
+               "  repro search exp1 --solver sa --budget 2 --journal sa.jsonl\n"
+               "  repro search exp2 --solver regevo --workers 4\n"
+               "  repro search exp1 --solver amc --budget 2\n"
+               "  repro trace summarize sa.jsonl amc.jsonl   # group by solver",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
     p.add_argument("experiment", choices=["exp1", "exp2"])
+    p.add_argument("--solver", default=None,
+                   choices=["progressive", "random", "evolution", "grid",
+                            "rl", "sa", "regevo", "amc"],
+                   help="solver registry name (overrides --algorithm)")
     p.add_argument("--algorithm", default="AutoMC",
-                   choices=["AutoMC", "Evolution", "RL", "Random"])
+                   choices=["AutoMC", "Evolution", "RL", "Random"],
+                   help="legacy algorithm label (prefer --solver)")
     p.add_argument("--workers", type=int, default=0,
                    help="evaluation worker processes (0 = serial, same results)")
     p.add_argument("--cache-dir", dest="cache_dir", default=None,
@@ -486,6 +530,8 @@ def build_parser() -> argparse.ArgumentParser:
     trace_sub = p.add_subparsers(dest="trace_command", required=True)
     p = trace_sub.add_parser("summarize", help="print a journal summary")
     p.add_argument("journal", help="path to the .jsonl run journal")
+    p.add_argument("more_journals", nargs="*", metavar="journal",
+                   help="additional journals; runs are grouped by solver")
     p.add_argument("--json", action="store_true", help="emit machine-readable JSON")
     p.set_defaults(func=cmd_trace)
 

@@ -27,8 +27,17 @@ from .pareto import (
     pareto_mask,
     select_diverse,
 )
-from .progressive import ProgressiveConfig, ProgressiveSearch
+from .progressive import ProgressiveConfig, ProgressiveSearch, ProgressiveSolver
 from .search import SearchResult, SearchStrategy, TrajectoryPoint
+from .solver import (
+    SOLVER_REGISTRY,
+    Solver,
+    get_solver,
+    list_solvers,
+    make_solver,
+    register_solver,
+    run_solver,
+)
 from .snapshots import ModelSnapshot, ModelSnapshotStore
 
 __all__ = [
@@ -43,10 +52,13 @@ __all__ = [
     "ModelSnapshotStore",
     "ProgressiveConfig",
     "ProgressiveSearch",
+    "ProgressiveSolver",
     "ResultCache",
     "SchemeEvaluator",
+    "SOLVER_REGISTRY",
     "SearchResult",
     "SearchStrategy",
+    "Solver",
     "SurrogateEvaluator",
     "TrainingEvaluator",
     "TrajectoryPoint",
@@ -55,11 +67,16 @@ __all__ = [
     "build_variant",
     "cache_stats",
     "crowding_distance",
+    "get_solver",
     "hypervolume_2d",
+    "list_solvers",
+    "make_solver",
     "nondominated_sort",
     "pareto_indices",
     "pareto_mask",
     "plan_prefix_groups",
     "prune_cache",
+    "register_solver",
+    "run_solver",
     "select_diverse",
 ]

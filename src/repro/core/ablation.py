@@ -15,6 +15,7 @@ are independent).
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 from ..baselines.rl import RLSearch
@@ -48,11 +49,15 @@ def build_variant(
         raise KeyError(f"unknown variant {name!r}; choose from {VARIANTS}")
 
     if name == "AutoMC-ProgressiveSearch":
-        # Same knowledge, non-progressive RL search.
-        searcher = RLSearch(
-            evaluator, StrategySpace(), gamma=gamma,
-            budget_hours=budget_hours, max_length=max_length, seed=seed,
-        )
+        # Same knowledge, non-progressive RL search.  The facade is the
+        # deprecated *public* entry point; as internal wiring it is exactly
+        # the strategy-state shape the variant harness needs.
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            searcher = RLSearch(
+                evaluator, StrategySpace(), gamma=gamma,
+                budget_hours=budget_hours, max_length=max_length, seed=seed,
+            )
         searcher.name = name
         return searcher
 

@@ -34,8 +34,9 @@ from .config import EvaluatorConfig
 from .engine import EvaluationEngine
 from .evaluator import SurrogateEvaluator, TrainingEvaluator
 from .interface import Evaluator
-from .progressive import ProgressiveConfig, ProgressiveSearch
+from .progressive import ProgressiveConfig
 from .search import SearchResult
+from .solver import make_solver
 
 _PAPER_TASKS = {
     ("resnet56", "cifar10"): EXP1,
@@ -58,6 +59,12 @@ class AutoMC:
     only wall-clock drops).  ``snapshot_budget_mb`` caps the store's on-disk
     size (default 256 MB, LRU eviction).
 
+    ``solver`` picks the search algorithm by registry name (default
+    ``"progressive"`` — the paper's Algorithm 2; see
+    :func:`repro.core.solver.list_solvers` for the zoo) and
+    ``solver_kwargs`` passes per-solver options, e.g.
+    ``AutoMC(evaluator, solver="sa", solver_kwargs={"chains": 8})``.
+
     ``trace`` turns on the :mod:`repro.obs` observability layer: pass
     ``True`` for an in-memory :class:`~repro.obs.Tracer` (inspect
     ``automc.tracer.spans`` / ``.metrics`` afterwards), a path to stream a
@@ -76,6 +83,8 @@ class AutoMC:
         max_length: int = 5,
         embedding_config: Optional[EmbeddingConfig] = None,
         progressive_config: Optional[ProgressiveConfig] = None,
+        solver: str = "progressive",
+        solver_kwargs: Optional[dict] = None,
         seed: int = 0,
         parallelism: int = 0,
         cache_dir: Optional[str] = None,
@@ -113,11 +122,12 @@ class AutoMC:
         self.max_length = max_length
         self.seed = seed
         self.progressive_config = progressive_config
-        if embeddings is None:
-            embeddings = learn_embeddings(
-                self.space, config=embedding_config or EmbeddingConfig(seed=seed)
-            )
-        self.embeddings = embeddings
+        self.solver = solver
+        self.solver_kwargs = dict(solver_kwargs or {})
+        # Embeddings are only needed by the progressive solver; learn them
+        # lazily so AutoMC(solver="sa") and friends skip the KG training.
+        self._embeddings = embeddings
+        self._embedding_config = embedding_config
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -177,20 +187,40 @@ class AutoMC:
         return cls(evaluator, gamma=gamma, budget_hours=budget_hours, seed=seed, **kwargs)
 
     # ------------------------------------------------------------------ #
-    def search(self) -> SearchResult:
-        """Run Algorithm 2 and return the Pareto-optimal schemes."""
-        from ..knowledge.experience import default_experience
+    @property
+    def embeddings(self) -> StrategyEmbeddings:
+        """Learned strategy embeddings (trained on first access)."""
+        if self._embeddings is None:
+            self._embeddings = learn_embeddings(
+                self.space,
+                config=self._embedding_config or EmbeddingConfig(seed=self.seed),
+            )
+        return self._embeddings
 
-        searcher = ProgressiveSearch(
+    def search(self) -> SearchResult:
+        """Run the selected solver and return the Pareto-optimal schemes.
+
+        The default solver is the paper's progressive search (Algorithm 2);
+        any registered solver name works — see
+        :func:`repro.core.solver.list_solvers`.
+        """
+        kwargs = dict(self.solver_kwargs)
+        if self.solver == "progressive":
+            from ..knowledge.experience import default_experience
+
+            kwargs.setdefault("embeddings", self.embeddings)
+            kwargs.setdefault("config", self.progressive_config)
+            kwargs.setdefault("experience", default_experience())
+        searcher = make_solver(
+            self.solver,
             self.evaluator,
             self.space,
-            self.embeddings,
             gamma=self.gamma,
             budget_hours=self.budget_hours,
             max_length=self.max_length,
-            config=self.progressive_config,
-            experience=default_experience(),
             seed=self.seed,
+            tracer=self.tracer if self.tracer.enabled else None,
+            **kwargs,
         )
         try:
             return searcher.run()

@@ -12,6 +12,13 @@ Each optimisation round:
 
 The search stops when the simulated GPU-hour budget is exhausted and returns
 the Pareto-optimal schemes whose parameter reduction meets the target γ.
+
+:class:`ProgressiveSolver` implements the algorithm on the shared
+:class:`~repro.core.solver.Solver` round loop (registered as
+``"progressive"``); :class:`ProgressiveSearch` is the original facade over
+the same solver, kept for callers that construct searches directly.  The
+per-round random draws happen in the exact same order as the pre-solver
+implementation, so seeded results are bit-identical.
 """
 
 from __future__ import annotations
@@ -21,7 +28,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..knowledge.embedding import StrategyEmbeddings
+from ..knowledge.embedding import EmbeddingConfig, StrategyEmbeddings, learn_embeddings
 from ..space.scheme import CompressionScheme
 from ..space.strategy import StrategySpace
 from .evaluator import EvaluationResult
@@ -29,6 +36,7 @@ from .fmo import Fmo
 from .interface import Evaluator
 from .pareto import pareto_indices, select_diverse
 from .search import SearchResult, SearchStrategy
+from .solver import Solver, register_solver
 
 
 @dataclass
@@ -48,31 +56,33 @@ class ProgressiveConfig:
     feasible_bias: bool = True         # half the evals target PR in [γ, 0.8]
 
 
-class ProgressiveSearch(SearchStrategy):
+@register_solver("progressive", label="AutoMC")
+class ProgressiveSolver(Solver):
     """AutoMC: knowledge-guided, progressively expanding scheme search."""
-
-    name = "AutoMC"
 
     def __init__(
         self,
-        evaluator: Evaluator,
-        space: StrategySpace,
-        embeddings: StrategyEmbeddings,
-        gamma: float = 0.3,
-        budget_hours: float = 24.0,
-        max_length: int = 5,
+        strategy: SearchStrategy,
+        embeddings: Optional[StrategyEmbeddings] = None,
         config: Optional[ProgressiveConfig] = None,
         experience=None,
-        seed: int = 0,
     ):
-        super().__init__(evaluator, space, gamma, budget_hours, max_length, seed)
+        super().__init__(strategy)
         self.config = config or ProgressiveConfig()
-        self.fmo = Fmo(embeddings, max_length=max_length, seed=seed)
+        if embeddings is None:
+            embeddings = learn_embeddings(
+                strategy.space, config=EmbeddingConfig(seed=strategy.seed)
+            )
+        self.embeddings = embeddings
+        self.fmo = Fmo(embeddings, max_length=strategy.max_length, seed=strategy.seed)
         if experience:
             self.fmo.pretrain_from_experience(experience)
         # Next_seq bookkeeping: scheme id -> boolean mask of unexplored ops.
         self._unexplored: Dict[str, np.ndarray] = {}
         self._results_by_id: Dict[str, EvaluationResult] = {}
+        # the round's (parent, candidate_index) selection, set by propose()
+        self._selected: List[Tuple[EvaluationResult, int]] = []
+        self._round_index = 0
 
     # ------------------------------------------------------------------ #
     def _ensure_tracked(self, result: EvaluationResult) -> None:
@@ -161,7 +171,7 @@ class ProgressiveSearch(SearchStrategy):
                 feasible = np.ones(len(candidates), dtype=bool)
                 for j, i in enumerate(candidates):
                     child = result.scheme.extend(self.space[int(i)])
-                    if not self.feasible(child):
+                    if not self.strategy.feasible(child):
                         feasible[j] = False
                         mask[int(i)] = False
                 candidates = candidates[feasible]
@@ -217,53 +227,85 @@ class ProgressiveSearch(SearchStrategy):
         return [(options[i][0], options[i][1]) for i in chosen]
 
     # ------------------------------------------------------------------ #
-    def run(self) -> SearchResult:
+    def setup(self) -> None:
         start = self.evaluator.evaluate(CompressionScheme())
         self._ensure_tracked(start)
-        self.record()
 
-        round_index = 0
-        while self.budget_left() > 0:
-            round_span = (
-                self.tracer.start("search.round", algorithm=self.name, round=round_index)
-                if self.tracer.enabled
-                else None
+    def propose(self, state: SearchStrategy) -> List[CompressionScheme]:
+        h_sub = self._sample_h_sub()
+        if not h_sub:
+            self._selected = []
+            return []
+        options = self._score_round(h_sub, self._round_index)
+        selected = self._select_pareto_options(options)
+        self._round_attrs = {
+            "parents": len(h_sub), "options": len(options), "selected": len(selected)
+        }
+        self._selected = selected
+        return [parent.scheme.extend(self.space[c]) for parent, c in selected]
+
+    def observe(self, results: List[EvaluationResult]) -> None:
+        # The driver may have pruned some proposals (only possible when the
+        # evaluator exposes is_feasible without a budget attribute — the
+        # in-round filter in _score_round otherwise pre-vets every child),
+        # so match results back to the selection by identifier.  Distinct
+        # (parent, candidate) pairs always produce distinct identifiers.
+        by_id = {r.scheme.identifier: r for r in results}
+        observed = False
+        for parent, candidate_index in self._selected:
+            child_scheme = parent.scheme.extend(self.space[candidate_index])
+            child = by_id.get(child_scheme.identifier)
+            if child is None:
+                continue
+            self._ensure_tracked(child)
+            # Mark s as explored under seq (Algorithm 2, line 9).
+            self._unexplored[parent.scheme.identifier][candidate_index] = False
+            # Observed step targets for Eq. 5.
+            ar_step = (child.accuracy - parent.accuracy) / max(parent.accuracy, 1e-9)
+            pr_step = (parent.params - child.params) / max(parent.params, 1)
+            self.fmo.observe(
+                parent.scheme, self._state_of(parent), candidate_index,
+                ar_step, pr_step,
             )
-            try:
-                h_sub = self._sample_h_sub()
-                if not h_sub:
-                    break
-                options = self._score_round(h_sub, round_index)
-                selected = self._select_pareto_options(options)
-                if round_span is not None:
-                    round_span.set(
-                        parents=len(h_sub), options=len(options), selected=len(selected)
-                    )
-                if not selected:
-                    break
-                # The round's candidate set is submitted as one batch — with an
-                # EvaluationEngine this is what fans out across workers.  The
-                # selection above consumed only self.rng, never the results, so
-                # batched evaluation replays the serial trajectory exactly.
-                children = self.evaluator.evaluate_many(
-                    [parent.scheme.extend(self.space[c]) for parent, c in selected]
-                )
-                for (parent, candidate_index), child in zip(selected, children):
-                    self._ensure_tracked(child)
-                    # Mark s as explored under seq (Algorithm 2, line 9).
-                    self._unexplored[parent.scheme.identifier][candidate_index] = False
-                    # Observed step targets for Eq. 5.
-                    ar_step = (child.accuracy - parent.accuracy) / max(parent.accuracy, 1e-9)
-                    pr_step = (parent.params - child.params) / max(parent.params, 1)
-                    self.fmo.observe(
-                        parent.scheme, self._state_of(parent), candidate_index,
-                        ar_step, pr_step,
-                    )
-                self.fmo.train(epochs=self.config.fmo_epochs)
-                self.record()
-                round_index += 1
-            finally:
-                if round_span is not None:
-                    self.tracer.finish(round_span)
+            observed = True
+        if observed:
+            self.fmo.train(epochs=self.config.fmo_epochs)
+        self._round_index += 1
 
-        return self.finish()
+
+class ProgressiveSearch(SearchStrategy):
+    """Original construct-and-run facade over :class:`ProgressiveSolver`.
+
+    Kept as the primary paper-facing API; ``repro.core.solver`` is the
+    pluggable route (``get_solver("progressive")``).  Attribute access not
+    found on the strategy state falls through to the underlying solver, so
+    ``searcher.fmo`` / ``searcher._unexplored`` keep working.
+    """
+
+    name = "AutoMC"
+
+    def __init__(
+        self,
+        evaluator: Evaluator,
+        space: StrategySpace,
+        embeddings: StrategyEmbeddings,
+        gamma: float = 0.3,
+        budget_hours: float = 24.0,
+        max_length: int = 5,
+        config: Optional[ProgressiveConfig] = None,
+        experience=None,
+        seed: int = 0,
+    ):
+        super().__init__(evaluator, space, gamma, budget_hours, max_length, seed)
+        self._solver = ProgressiveSolver(
+            self, embeddings=embeddings, config=config, experience=experience
+        )
+
+    def run(self) -> SearchResult:
+        return self._solver.run()
+
+    def __getattr__(self, item):
+        solver = self.__dict__.get("_solver")
+        if solver is None:
+            raise AttributeError(item)
+        return getattr(solver, item)

@@ -56,6 +56,12 @@ class SearchResult:
     wall_seconds: float = 0.0
     #: metrics snapshot from the attached tracer (None when tracing is off)
     obs: Optional[dict] = None
+    #: registry name of the solver that produced this result (repro.core.solver)
+    solver: Optional[str] = None
+    #: completed propose/observe rounds
+    rounds: int = 0
+    #: driver-gate accounting: proposals / budget-pruned / evaluated counts
+    solver_stats: Optional[dict] = None
 
     @property
     def best(self) -> Optional[EvaluationResult]:
@@ -67,6 +73,23 @@ class SearchResult:
     def summary(self) -> str:
         best = self.best
         head = f"{self.algorithm}: {self.evaluations} evals, {self.total_cost:.1f} sim-h"
+        extras = []
+        if self.solver is not None:
+            extras.append(f"solver={self.solver}")
+            extras.append(f"{self.rounds} rounds")
+        stats = self.solver_stats or {}
+        if stats.get("proposals_pruned"):
+            extras.append(
+                f"{stats['proposals_pruned']}/{stats['proposals_total']} "
+                f"proposals budget-pruned"
+            )
+        engine = self.engine_stats or {}
+        if engine.get("cache_hits"):
+            extras.append(f"{engine['cache_hits']} cache hits")
+        if engine.get("snapshot_hits"):
+            extras.append(f"{engine['snapshot_hits']} snapshot hits")
+        if extras:
+            head += " [" + ", ".join(extras) + "]"
         if best is None:
             return head + " — no scheme met the PR target"
         return head + f" | best: {best}"
@@ -109,6 +132,15 @@ class SearchStrategy:
         self._best_feasible: Optional[EvaluationResult] = None
         #: candidates dropped by the static budget filter (zero cost charged)
         self.budget_pruned = 0
+        # Solver-driver accounting (repro.core.solver): every non-empty
+        # proposal is either pruned by the static budget gate at zero cost
+        # or submitted for evaluation, so for every registered solver
+        # proposals_total == proposals_pruned + evaluated_proposals.
+        self.solver_name: Optional[str] = None
+        self.rounds_completed = 0
+        self.proposals_total = 0
+        self.proposals_pruned = 0
+        self.evaluated_proposals = 0
 
     # ------------------------------------------------------------------ #
     def budget_left(self) -> float:
@@ -221,6 +253,18 @@ class SearchStrategy:
                 time.perf_counter() - self._run_started if self._run_started else 0.0
             ),
             obs=tracer.metrics.snapshot() if tracer.enabled else None,
+            solver=self.solver_name,
+            rounds=self.rounds_completed,
+            solver_stats=(
+                {
+                    "proposals_total": self.proposals_total,
+                    "proposals_pruned": self.proposals_pruned,
+                    "evaluated_proposals": self.evaluated_proposals,
+                    "budget_pruned": self.budget_pruned,
+                }
+                if self.solver_name is not None
+                else None
+            ),
         )
 
     def run(self) -> SearchResult:  # pragma: no cover - abstract

@@ -12,12 +12,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..analysis.costmodel import Budget
-from ..baselines import EvolutionSearch, RLSearch, RandomSearch
 from ..core.config import EvaluatorConfig
 from ..core.engine import EvaluationEngine
 from ..core.evaluator import EvaluationResult, SurrogateEvaluator
-from ..core.progressive import ProgressiveConfig, ProgressiveSearch
+from ..core.progressive import ProgressiveConfig
 from ..core.search import SearchResult
+from ..core.solver import get_solver, make_solver
 from ..obs import RunJournal, Tracer, attach_tracer
 from ..data.tasks import EXP1, EXP2, CompressionTask, transfer_task
 from ..knowledge.embedding import EmbeddingConfig, StrategyEmbeddings, learn_embeddings
@@ -43,6 +43,11 @@ class ExperimentConfig:
     snapshot_dir: Optional[str] = None  # shared prefix-model snapshot store
     snapshot_budget_mb: Optional[float] = None  # store size cap (default 256)
     journal: Optional[str] = None     # JSONL run-journal path (repro.obs)
+    # Solver selection (repro.core.solver): None keeps the algorithm name
+    # passed to run_algorithm; a registry name overrides it.  solver_kwargs
+    # are forwarded to the solver constructor verbatim.
+    solver: Optional[str] = None
+    solver_kwargs: Optional[Dict[str, object]] = None
     # Static budget constraints (repro.analysis.costmodel) — candidates the
     # abstract interpreter proves over budget are rejected before any
     # evaluation cost is charged.
@@ -110,6 +115,16 @@ def transfer_evaluator(exp_name: str, model_name: str, seed: int = 0) -> Surroga
     return make_evaluator(model_name, dataset_name, task, seed=seed)
 
 
+#: legacy algorithm names accepted by run_algorithm / the CLI --algorithm flag
+LEGACY_SOLVER_NAMES: Dict[str, str] = {
+    "AutoMC": "progressive",
+    "Random": "random",
+    "Evolution": "evolution",
+    "RL": "rl",
+    "Grid": "grid",
+}
+
+
 def run_algorithm(
     name: str,
     exp_name: str,
@@ -119,12 +134,20 @@ def run_algorithm(
 ) -> SearchResult:
     """Run one AutoML algorithm on Exp1/Exp2 under the shared budget.
 
+    ``name`` is a solver registry name (``progressive``, ``random``,
+    ``evolution``, ``grid``, ``rl``, ``sa``, ``regevo``, ``amc``) or a
+    legacy algorithm label (``AutoMC``/``Random``/``Evolution``/``RL``);
+    ``config.solver`` overrides it when set.
+
     With ``config.workers`` / ``config.cache_dir`` set, the evaluator is
     wrapped in an :class:`EvaluationEngine` — candidate batches fan out
     across worker processes and/or persist to the cross-run disk cache.
     With ``config.journal`` set, the whole run streams spans/events to a
-    JSONL journal (summarise with ``repro trace summarize``).
+    JSONL journal (summarise with ``repro trace summarize``, which groups
+    multiple journals by their solver name).
     """
+    solver_name = config.solver or LEGACY_SOLVER_NAMES.get(name, name)
+    get_solver(solver_name)  # fail fast on unknown names, before any setup
     model_name, dataset_name, task = EXPERIMENTS[exp_name]
     evaluator = make_evaluator(model_name, dataset_name, task, seed=config.seed)
     budget = config.budget()
@@ -143,34 +166,32 @@ def run_algorithm(
         tracer = Tracer(
             journal=RunJournal(
                 config.journal,
-                run={"algorithm": name, "experiment": exp_name, "seed": config.seed},
+                run={
+                    "algorithm": name,
+                    "solver": solver_name,
+                    "experiment": exp_name,
+                    "seed": config.seed,
+                },
             )
         )
         attach_tracer(evaluator, tracer)
     space = space or StrategySpace()
-    common = dict(
-        gamma=0.3, budget_hours=config.budget_hours, max_length=5, seed=config.seed
-    )
-    if name == "AutoMC":
+    solver_kwargs: Dict[str, object] = dict(config.solver_kwargs or {})
+    if solver_name == "progressive":
         from ..knowledge.experience import default_experience
 
         if embeddings is None:
             embeddings = learn_embeddings(space, config=config.embedding_config())
-        searcher = ProgressiveSearch(
-            evaluator, space, embeddings,
-            config=config.progressive_config(),
-            experience=default_experience(), **common,
-        )
-    elif name == "Evolution":
-        searcher = EvolutionSearch(evaluator, space, **common)
-    elif name == "RL":
-        searcher = RLSearch(evaluator, space, **common)
-    elif name == "Random":
-        searcher = RandomSearch(evaluator, space, **common)
-    else:
-        raise KeyError(f"unknown algorithm {name!r}")
+        solver_kwargs.setdefault("embeddings", embeddings)
+        solver_kwargs.setdefault("config", config.progressive_config())
+        solver_kwargs.setdefault("experience", default_experience())
+    solver = make_solver(
+        solver_name, evaluator, space,
+        gamma=0.3, budget_hours=config.budget_hours, max_length=5,
+        seed=config.seed, **solver_kwargs,
+    )
     try:
-        result = searcher.run()
+        result = solver.run()
         if isinstance(evaluator, EvaluationEngine):
             result.engine_stats = {
                 "workers": evaluator.workers,
@@ -185,7 +206,7 @@ def run_algorithm(
             # Static-analysis accounting: candidates pruned at generation
             # time, schemes the engine filtered or S-rejected, plus the
             # cost model's drift against measured (params, flops).
-            stats["budget_pruned"] = searcher.budget_pruned
+            stats["budget_pruned"] = solver.strategy.budget_pruned
             stats["budget_filtered"] = evaluator.budget_filtered
             stats["budget_rejects"] = evaluator.budget_rejects
             stats.update(evaluator.prediction_drift())

@@ -48,6 +48,12 @@ class JournalSummary:
     final_trajectory: Optional[dict] = None
 
     @property
+    def solver(self) -> Optional[str]:
+        """The solver registry name recorded in the run header, if any."""
+        value = self.run.get("solver")
+        return value if isinstance(value, str) else None
+
+    @property
     def evaluation_outcomes(self) -> int:
         """Schemes that produced a result or a rejection, however cheaply."""
         return (
@@ -100,6 +106,7 @@ class JournalSummary:
             "path": self.path,
             "schema": self.schema,
             "run": self.run,
+            "solver": self.solver,
             "records": self.records,
             "skipped_lines": self.skipped_lines,
             "span_counts": self.span_counts,
@@ -135,9 +142,14 @@ def summarize_journal(path: Union[str, Path]) -> JournalSummary:
         if kind == "meta":
             if summary.schema is None:
                 summary.schema = record.get("schema", JOURNAL_SCHEMA_VERSION)
-                run = record.get("run")
-                if isinstance(run, dict):
-                    summary.run = run
+            # Merge every meta record's run dict in journal order: solvers
+            # annotate the run after the header is written (annotate_run),
+            # and later annotations extend/override earlier ones.
+            run = record.get("run")
+            if isinstance(run, dict):
+                merged = dict(summary.run)
+                merged.update(run)
+                summary.run = merged
             continue
         name = record.get("name")
         if not isinstance(name, str):

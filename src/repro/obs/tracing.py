@@ -89,6 +89,7 @@ class Tracer:
         self.keep_spans = keep_spans
         self.spans: List[Span] = []
         self.events: List[dict] = []
+        self.run_info: dict = {}
         self._stack: List[Span] = []
         self._next_id = 1
 
@@ -124,6 +125,27 @@ class Tracer:
             yield span
         finally:
             self.finish(span)
+
+    # -- run metadata ------------------------------------------------------
+    def annotate_run(self, **fields) -> None:
+        """Append run-level metadata (e.g. the solver name) to the journal.
+
+        Written as an extra ``meta`` record; readers merge the ``run`` dicts
+        of every meta record in order, so later annotations extend (and can
+        override) the header the journal was opened with.  Kept in
+        ``self.run_info`` for in-memory tracers.
+        """
+        self.run_info.update(fields)
+        if self.journal is not None:
+            from .journal import JOURNAL_SCHEMA_VERSION
+
+            self.journal.write(
+                {
+                    "type": "meta",
+                    "schema": JOURNAL_SCHEMA_VERSION,
+                    "run": dict(fields),
+                }
+            )
 
     # -- events ------------------------------------------------------------
     def event(self, name: str, **attrs) -> None:
@@ -194,6 +216,7 @@ class NullTracer:
     metrics = NULL_METRICS
     spans: List[Span] = []
     events: List[dict] = []
+    run_info: dict = {}
 
     def start(self, name: str, **attrs) -> _NullSpan:
         return _NULL_SPAN
@@ -205,6 +228,9 @@ class NullTracer:
         return _NULL_SPAN
 
     def event(self, name: str, **attrs) -> None:
+        pass
+
+    def annotate_run(self, **fields) -> None:
         pass
 
     def close(self) -> None:

@@ -413,7 +413,12 @@ class TestSearchIntegration:
         assert automc.tracer.journal.closed
         summary = summarize_journal(path)
         assert summary.sim_cost_total == result.total_cost
-        assert summary.run == {"api": "AutoMC"}
+        # The header names the API; the solver annotates the run afterwards
+        # (Tracer.annotate_run) and both merge into one run dict.
+        assert summary.run["api"] == "AutoMC"
+        assert summary.run["solver"] == "progressive"
+        assert summary.run["algorithm"] == "AutoMC"
+        assert summary.solver == "progressive"
 
     def test_automc_trace_true_in_memory(self):
         automc = _make_automc(budget_hours=0.3, trace=True)

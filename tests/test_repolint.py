@@ -75,6 +75,68 @@ class TestR003FlopRules:
         assert repolint.lint_path(path) == []
 
 
+class TestR004SolverRegistration:
+    def test_flags_unregistered_solver_subclass(self):
+        tree = parse(
+            """
+            class Rogue(Solver):
+                def propose(self, state):
+                    return []
+            """
+        )
+        violations = repolint.check_solver_registration(tree, "x.py")
+        assert [v.rule for v in violations] == ["R004"]
+        assert "Rogue" in violations[0].message
+
+    def test_flags_attribute_base(self):
+        tree = parse(
+            """
+            class Rogue(solver.Solver):
+                pass
+            """
+        )
+        assert [
+            v.rule for v in repolint.check_solver_registration(tree, "x.py")
+        ] == ["R004"]
+
+    def test_allows_registered_solver(self):
+        tree = parse(
+            """
+            @register_solver("mine", label="Mine")
+            class Mine(Solver):
+                def propose(self, state):
+                    return []
+            """
+        )
+        assert repolint.check_solver_registration(tree, "x.py") == []
+
+    def test_allows_attribute_decorator_and_unrelated_classes(self):
+        tree = parse(
+            """
+            @solver.register_solver("mine")
+            class Mine(core.Solver):
+                pass
+
+            class NotASolver(SearchStrategy):
+                pass
+
+            class Solver:  # the base class itself has no Solver base
+                pass
+            """
+        )
+        assert repolint.check_solver_registration(tree, "x.py") == []
+
+    def test_indirect_subclasses_are_exempt(self):
+        """Refining a registered solver inherits its registration."""
+        tree = parse(
+            """
+            class Tweaked(RandomSolver):
+                pass
+            """
+        )
+        assert repolint.check_solver_registration(tree, "x.py") == []
+
+
 class TestRunner:
     def test_repo_is_clean(self):
         root = os.path.join(
