@@ -112,6 +112,10 @@ def cmd_trace(args) -> int:
         except FileNotFoundError:
             print(f"no such journal: {path}", file=sys.stderr)
             return 2
+        except OSError as exc:
+            # directories, permission errors, ... — anything unreadable
+            print(f"cannot read journal {path}: {exc}", file=sys.stderr)
+            return 2
     if args.json:
         payload = (
             summaries[0].to_dict()
@@ -412,6 +416,163 @@ def cmd_cache(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import signal
+
+    from .serve import ServeDaemon
+
+    daemon = ServeDaemon(
+        args.state_dir,
+        workers=args.workers,
+        max_jobs=args.max_jobs,
+        host=args.host,
+        port=args.port,
+        snapshot_budget_mb=args.snapshot_budget_mb,
+    )
+
+    def _on_sigterm(signum, frame):
+        # Crash semantics by design: exit immediately without journalling
+        # in-flight jobs, so the next daemon on this state dir recovers them
+        # as interrupted/resumable.  Graceful stops go through SIGINT or the
+        # protocol 'shutdown' op.
+        import os
+
+        os._exit(0)
+
+    signal.signal(signal.SIGTERM, _on_sigterm)
+    daemon.start()
+    print(
+        f"repro serve: listening on {daemon.host}:{daemon.port} "
+        f"(state dir {daemon.state_dir}, {args.workers} worker lanes, "
+        f"max {args.max_jobs} concurrent jobs)",
+        flush=True,
+    )
+    try:
+        daemon.wait()
+    except KeyboardInterrupt:
+        pass
+    daemon.stop()
+    return 0
+
+
+def _job_spec_from_args(args) -> "object":
+    import json
+
+    from .serve import JobSpec
+
+    if args.spec:
+        with open(args.spec) as handle:
+            return JobSpec.from_payload(json.load(handle))
+    if not args.experiment:
+        print("job submit needs an experiment (exp1/exp2) or --spec FILE",
+              file=sys.stderr)
+        raise SystemExit(2)
+    from .core.config import EvaluatorConfig
+    from .experiments.common import EXPERIMENTS
+
+    exp = {"exp1": "Exp1", "exp2": "Exp2"}[args.experiment]
+    model_name, dataset_name, task = EXPERIMENTS[exp]
+    config = EvaluatorConfig(
+        model_name=model_name, dataset_name=dataset_name, task=task, seed=args.seed
+    )
+    return JobSpec(
+        evaluator=config.to_payload(),
+        solver=args.solver,
+        tenant=args.tenant,
+        gamma=args.gamma,
+        budget_hours=args.budget,
+        max_length=args.max_length,
+        seed=args.seed,
+        method_labels=args.methods.split(",") if args.methods else None,
+    )
+
+
+def _format_job(job: dict) -> str:
+    line = (
+        f"{job['job_id']}  {job['state']:<11}  tenant={job['tenant']}  "
+        f"solver={job['solver']}  rounds={job['rounds']}  "
+        f"evals={job['evaluations']}  cost={job['total_cost']:.4f}h"
+    )
+    if job.get("error"):
+        line += f"  error={job['error']['type']}: {job['error']['message']}"
+    if job.get("resumable"):
+        line += "  [resumable]"
+    return line
+
+
+def cmd_job(args) -> int:
+    import json
+
+    from .serve import ServeClient, ServerError, ServeUnavailable
+
+    try:
+        client = ServeClient(args.state_dir)
+        command = args.job_command
+        if command == "submit":
+            job = client.submit(_job_spec_from_args(args))
+            print(_format_job(job))
+            if args.watch:
+                return _watch_job(client, job["job_id"], args.json)
+            return 0
+        if command == "status":
+            job = client.status(args.job_id)
+            if args.json:
+                print(json.dumps(job, indent=2, sort_keys=True))
+            else:
+                print(_format_job(job))
+            return 0
+        if command == "watch":
+            return _watch_job(client, args.job_id, args.json)
+        if command == "cancel":
+            print(_format_job(client.cancel(args.job_id)))
+            return 0
+        if command == "list":
+            jobs = client.list_jobs()
+            if args.json:
+                print(json.dumps(jobs, indent=2, sort_keys=True))
+            else:
+                for job in jobs:
+                    print(_format_job(job))
+                if not jobs:
+                    print("no jobs")
+            return 0
+        if command == "stats":
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            return 0
+        if command == "shutdown":
+            client.shutdown()
+            print("daemon stopping")
+            return 0
+        raise ValueError(command)
+    except (ServeUnavailable, ServerError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _watch_job(client, job_id: str, as_json: bool) -> int:
+    import json
+
+    final = None
+    for event in client.watch(job_id):
+        if as_json:
+            print(json.dumps(event, sort_keys=True), flush=True)
+        elif event["kind"] == "round":
+            print(
+                f"{job_id}  round {event['rounds']}: "
+                f"{event['evaluations']} evals, {event['total_cost']:.4f}h, "
+                f"front size {len(event['pareto'])}",
+                flush=True,
+            )
+        elif event["kind"] in ("snapshot", "done"):
+            print(_format_job(event["job"]), flush=True)
+        if event["kind"] == "done":
+            final = event["job"]
+    if final is None:
+        print("watch stream ended early", file=sys.stderr)
+        return 2
+    return 0 if final["state"] == "completed" else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -553,6 +714,86 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", default=None,
                    help="also write the JSON report here (e.g. BENCH_nn.json)")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the multi-tenant search daemon (see 'repro job')",
+        description="Long-lived search-as-a-service daemon: accepts concurrent "
+                    "search jobs over a local JSON-lines TCP protocol, sharing "
+                    "one warm worker-lane pool and one prefix-snapshot store "
+                    "across tenants.  Clients discover the endpoint through "
+                    "<state-dir>/serve.json; per-job journals land under "
+                    "<state-dir>/journals/.  SIGTERM exits immediately (crash "
+                    "semantics — a restart recovers in-flight jobs as "
+                    "interrupted); use SIGINT or 'repro job shutdown' for a "
+                    "graceful stop.  See docs/serving.md.",
+    )
+    p.add_argument("--state-dir", default="serve-state",
+                   help="journal + snapshot + endpoint directory (default ./serve-state)")
+    p.add_argument("--workers", type=int, default=0,
+                   help="shared worker lanes for all jobs (0 = each job serial "
+                        "on its own thread; results identical)")
+    p.add_argument("--max-jobs", type=int, default=4,
+                   help="concurrent running jobs (default 4; extras queue)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0, help="0 = ephemeral")
+    p.add_argument("--snapshot-budget-mb", type=float, default=None,
+                   help="byte budget of the shared snapshot store")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "job",
+        help="submit / inspect / cancel jobs on a 'repro serve' daemon",
+        description="Thin client for the serve daemon.  All commands find the "
+                    "daemon through --state-dir/serve.json.",
+        epilog="examples:\n"
+               "  repro serve --state-dir /tmp/svc --max-jobs 4 &\n"
+               "  repro job submit exp1 --solver sa --budget 2 --tenant alice\n"
+               "  repro job watch job-0001\n"
+               "  repro job list\n"
+               "  repro job shutdown",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p.add_argument("--state-dir", default="serve-state",
+                   help="the daemon's state directory (default ./serve-state)")
+    job_sub = p.add_subparsers(dest="job_command", required=True)
+    ps = job_sub.add_parser("submit", help="submit a search job")
+    ps.add_argument("experiment", nargs="?", choices=["exp1", "exp2"],
+                    help="paper task to search (or use --spec)")
+    ps.add_argument("--spec", default=None,
+                    help="full JobSpec JSON file (overrides the other options)")
+    ps.add_argument("--solver", default="progressive",
+                    choices=["progressive", "random", "evolution", "grid",
+                             "rl", "sa", "regevo", "amc"])
+    ps.add_argument("--tenant", default="default")
+    ps.add_argument("--gamma", type=float, default=0.3)
+    ps.add_argument("--budget", type=float, default=1.0,
+                    help="simulated GPU-hours for this job (default 1)")
+    ps.add_argument("--max-length", type=int, default=5)
+    ps.add_argument("--seed", type=int, default=0)
+    ps.add_argument("--methods", default=None,
+                    help="comma-separated method labels restricting the space, "
+                         "e.g. C3,C4")
+    ps.add_argument("--watch", action="store_true",
+                    help="stay attached and stream round progress")
+    ps.add_argument("--json", action="store_true")
+    ps.set_defaults(func=cmd_job)
+    for name, help_text in [
+        ("status", "one job's state and result"),
+        ("watch", "stream a job's round progress until it finishes"),
+        ("cancel", "request cooperative cancellation"),
+    ]:
+        pj = job_sub.add_parser(name, help=help_text)
+        pj.add_argument("job_id")
+        pj.add_argument("--json", action="store_true")
+        pj.set_defaults(func=cmd_job)
+    pj = job_sub.add_parser("list", help="every job the daemon knows about")
+    pj.add_argument("--json", action="store_true")
+    pj.set_defaults(func=cmd_job)
+    pj = job_sub.add_parser("stats", help="scheduler + lane-pool counters")
+    pj.set_defaults(func=cmd_job)
+    pj = job_sub.add_parser("shutdown", help="stop the daemon gracefully")
+    pj.set_defaults(func=cmd_job)
 
     p = sub.add_parser(
         "cache",

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import hashlib
 import warnings
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -132,6 +132,46 @@ class EvaluatorConfig:
             config.val_data,
             config=config,
         )
+
+    # ------------------------------------------------------------------ #
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-safe wire form (the ``repro serve`` job protocol).
+
+        Inverse of :meth:`from_payload`.  Live training datasets are
+        process-local objects and cannot cross the wire — a training config
+        submitted to a server must reference data the server can build
+        itself, so configs carrying ``train_data``/``val_data`` are
+        rejected here.
+        """
+        if self.train_data is not None or self.val_data is not None:
+            raise ValueError(
+                "EvaluatorConfig with live train_data/val_data cannot be "
+                "serialised for the serve protocol"
+            )
+        payload = asdict(self)
+        payload.pop("train_data")
+        payload.pop("val_data")
+        payload["task"] = None if self.task is None else asdict(self.task)
+        payload["budget"] = None if self.budget is None else self.budget.to_payload()
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "EvaluatorConfig":
+        """Rebuild a config from :meth:`to_payload` output.
+
+        Unknown keys are rejected (typo'd wire payloads fail loudly instead
+        of silently falling back to defaults).
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown EvaluatorConfig fields: {', '.join(unknown)}")
+        data = dict(payload)
+        task = data.get("task")
+        if task is not None:
+            data["task"] = CompressionTask(**task)
+        data["budget"] = Budget.from_payload(data.get("budget"))
+        return cls(**data)  # type: ignore[arg-type]
 
     # ------------------------------------------------------------------ #
     def fingerprint_payload(self) -> Dict[str, object]:

@@ -45,8 +45,10 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 import traceback
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
@@ -97,13 +99,32 @@ class WorkerError(RuntimeError):
 # worker process side
 # ---------------------------------------------------------------------------
 
-_WORKER_EVALUATOR = None
+#: per-process evaluator cache, keyed by the parent engine's config token.
+#: A lane shared by several tenants (see :class:`LanePool`) keeps one warm
+#: evaluator per distinct configuration, so same-config jobs share the
+#: worker's in-memory model LRU — the in-process tier of cross-job dedup.
+_WORKER_EVALUATORS: Dict[str, object] = {}
+
+#: distinct evaluator configurations a single worker process keeps warm.
+#: Evaluators hold a base model + an LRU of compressed models, so this is
+#: a memory bound, not a correctness knob (evicted configs just rebuild).
+WORKER_EVALUATOR_CACHE = 4
 
 
-def _init_worker(config) -> None:
-    """Pool initializer: rebuild the evaluator once per worker process."""
-    global _WORKER_EVALUATOR
-    _WORKER_EVALUATOR = config.build()
+def _worker_evaluator(token: str, config) -> object:
+    """Fetch (or lazily build) this process's evaluator for ``token``."""
+    evaluator = _WORKER_EVALUATORS.get(token)
+    if evaluator is None:
+        while len(_WORKER_EVALUATORS) >= WORKER_EVALUATOR_CACHE:
+            _WORKER_EVALUATORS.pop(next(iter(_WORKER_EVALUATORS)))
+        evaluator = config.build()
+        _WORKER_EVALUATORS[token] = evaluator
+    return evaluator
+
+
+def _worker_pid() -> int:
+    """Identify (and force-start) a lane's worker process."""
+    return os.getpid()
 
 
 @dataclass
@@ -130,23 +151,28 @@ class _GroupOutcome:
     steps_executed: int = 0
     snapshot_hits: int = 0
     snapshot_steps_saved: int = 0
+    snapshot_foreign_hits: int = 0
 
 
-def _worker_evaluate_group(schemes: Sequence[CompressionScheme]) -> _GroupOutcome:
+def _worker_evaluate_group(
+    token: str, config, schemes: Sequence[CompressionScheme]
+) -> _GroupOutcome:
     """Evaluate one prefix group, shortest-first, in a single worker.
 
     Running the whole group in one process is what makes routing *sticky*:
     every member after the first resumes from the worker's in-memory model
     LRU (or the shared disk snapshot store), populated by its predecessors.
-    The worker keeps its caches across tasks; determinism makes prefix
+    The worker keeps its caches across tasks (one evaluator per config
+    ``token`` — see :data:`_WORKER_EVALUATORS`); determinism makes prefix
     resume equivalent to full replay, and the parent recomputes charged
     costs at merge time.  Exceptions are captured per scheme so the parent
     can aggregate them into one typed :class:`WorkerError`.
     """
-    evaluator = _WORKER_EVALUATOR
+    evaluator = _worker_evaluator(token, config)
     steps0 = evaluator.steps_executed
     hits0 = evaluator.snapshot_hits
     saved0 = evaluator.snapshot_steps_saved
+    foreign0 = getattr(evaluator, "snapshot_foreign_hits", 0)
     group = _GroupOutcome()
     for scheme in schemes:
         try:
@@ -161,6 +187,9 @@ def _worker_evaluate_group(schemes: Sequence[CompressionScheme]) -> _GroupOutcom
     group.steps_executed = evaluator.steps_executed - steps0
     group.snapshot_hits = evaluator.snapshot_hits - hits0
     group.snapshot_steps_saved = evaluator.snapshot_steps_saved - saved0
+    group.snapshot_foreign_hits = (
+        getattr(evaluator, "snapshot_foreign_hits", 0) - foreign0
+    )
     return group
 
 
@@ -223,6 +252,167 @@ def plan_prefix_groups(
             for start in range(0, len(ordered), max_group):
                 groups.append(ordered[start:start + max_group])
     return groups
+
+
+# ---------------------------------------------------------------------------
+# shared worker-lane pool
+# ---------------------------------------------------------------------------
+
+
+class LanePool:
+    """A thread-safe pool of sticky worker lanes, shareable across engines.
+
+    Each *lane* is a single-process :class:`ProcessPoolExecutor` whose worker
+    keeps warm evaluators (one per config token) and model LRUs across
+    tasks.  Historically every :class:`EvaluationEngine` owned its lanes
+    privately and tore them down with the run; extracting the pool lets a
+    long-lived server (``repro serve``) hand the *same* warm lanes to many
+    concurrent engines — one per search job — so tenants share worker model
+    LRUs and the disk snapshot tier instead of cold-starting per job.
+
+    Thread safety: routing state (per-lane backlog, prefix→lane affinity)
+    is guarded by one lock; executors themselves are thread-safe.  Two jobs
+    racing for the same least-loaded lane is benign — routing affects only
+    wall-clock, never results (see the module docstring's determinism
+    guarantee).
+
+    Lane death (a worker process killed mid-task) is survivable:
+    :meth:`revive` replaces the broken executor with a fresh one and drops
+    its affinity entries, so the lane rejoins the pool cold while other
+    lanes — and other jobs — continue unaffected.  ``lane_restarts`` counts
+    revivals.
+    """
+
+    def __init__(self, workers: int):
+        if workers <= 0:
+            raise ValueError("LanePool needs workers >= 1")
+        self.workers = workers
+        self.lane_restarts = 0
+        self._lock = threading.Lock()
+        self._executors: List[Optional[ProcessPoolExecutor]] = [None] * workers
+        self._pending = [0] * workers
+        self._affinity: Dict[str, int] = {}  # scheme identifier → lane index
+        self._closed = False
+
+    # -- routing -----------------------------------------------------------
+    def route(self, group: Sequence[CompressionScheme], affinity: bool = True) -> int:
+        """Pick a lane: deepest-known-prefix affinity, least-loaded fallback.
+
+        The lane that most recently evaluated the group head's longest known
+        prefix already holds (or recently held) that model in its LRU.  A
+        lane more than one group behind the least-loaded lane forfeits its
+        affinity — the snapshot store makes a cold lane only moderately
+        slower, while an idle lane is free parallelism.
+        """
+        with self._lock:
+            least = min(range(self.workers), key=lambda i: (self._pending[i], i))
+            if not affinity:
+                return least
+            head = group[0]
+            for length in range(head.length - 1, 0, -1):
+                preferred = self._affinity.get(head.prefix(length).identifier)
+                if preferred is not None:
+                    if self._pending[preferred] > self._pending[least] + 1:
+                        return least
+                    return preferred
+            return least
+
+    def submit(self, lane: int, token: str, config, group: Sequence[CompressionScheme]):
+        """Submit one prefix group to ``lane``; returns the future."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("LanePool is closed")
+            executor = self._executors[lane]
+            if executor is None:
+                executor = ProcessPoolExecutor(max_workers=1)
+                self._executors[lane] = executor
+            self._pending[lane] += len(group)
+        try:
+            return executor.submit(_worker_evaluate_group, token, config, list(group))
+        except BrokenProcessPool as exc:
+            # The lane died while idle and the executor already flagged
+            # itself broken, so submit fails synchronously.  Surface it as
+            # a failed future so the caller's one lane-death path (revive +
+            # typed WorkerError) handles both timings identically.
+            future: Future = Future()
+            future.set_exception(exc)
+            return future
+
+    def complete(
+        self, lane: int, group: Sequence[CompressionScheme],
+        evaluated: Sequence[str] = (),
+    ) -> None:
+        """Account a finished (or failed) group and record lane affinity."""
+        with self._lock:
+            self._pending[lane] -= len(group)
+            for identifier in evaluated:
+                self._affinity[identifier] = lane
+
+    # -- lifecycle ---------------------------------------------------------
+    def revive(self, lane: int) -> None:
+        """Replace a broken lane executor; the lane rejoins the pool cold."""
+        with self._lock:
+            executor = self._executors[lane]
+            self._executors[lane] = None
+            self.lane_restarts += 1
+            self._affinity = {
+                key: value for key, value in self._affinity.items() if value != lane
+            }
+        if executor is not None:
+            executor.shutdown(wait=False)
+
+    def lane_pids(self) -> List[int]:
+        """Worker PID per lane (starting any lane not yet spawned).
+
+        Blocks behind in-flight groups on busy lanes; intended for startup
+        warm-up, stats endpoints and fault-injection tests.
+        """
+        futures = []
+        for lane in range(self.workers):
+            with self._lock:
+                if self._closed:
+                    raise RuntimeError("LanePool is closed")
+                executor = self._executors[lane]
+                if executor is None:
+                    executor = ProcessPoolExecutor(max_workers=1)
+                    self._executors[lane] = executor
+            futures.append(executor.submit(_worker_pid))
+        return [future.result() for future in futures]
+
+    def prestart(self) -> List[int]:
+        """Spawn every lane's worker process up front (returns their PIDs).
+
+        A long-lived server calls this once at boot, before job threads
+        exist, so lane processes are forked from a quiet parent.
+        """
+        return self.lane_pids()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "workers": self.workers,
+                "pending": list(self._pending),
+                "affinity_entries": len(self._affinity),
+                "lane_restarts": self.lane_restarts,
+                "live_lanes": sum(1 for e in self._executors if e is not None),
+            }
+
+    def close(self) -> None:
+        """Shut all lanes down (idempotent).  Affinity is forgotten."""
+        with self._lock:
+            executors = [e for e in self._executors if e is not None]
+            self._executors = [None] * self.workers
+            self._pending = [0] * self.workers
+            self._affinity = {}
+            self._closed = True
+        for executor in executors:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "LanePool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 # ---------------------------------------------------------------------------
@@ -444,6 +634,13 @@ class EvaluationEngine:
     replayed steps.  ``cache_entries`` caps the persistent result cache
     (``None`` → :data:`DEFAULT_CACHE_ENTRIES`).
 
+    ``lane_pool`` accepts a shared :class:`LanePool` instead of private
+    lanes: the engine borrows the pool's lanes (``workers`` is taken from
+    the pool) and :meth:`close` leaves the pool running — this is how a
+    multi-tenant server runs one engine per job on one warm lane set.
+    Without it, the engine creates a private pool on first parallel batch
+    and tears it down on :meth:`close`, exactly as before.
+
     All other attribute access falls through to the wrapped evaluator, so
     search strategies can treat an engine exactly like the evaluator it
     wraps (``task``, ``pareto_results``, ``base_accuracy``, ...).
@@ -456,8 +653,11 @@ class EvaluationEngine:
         cache_dir=None,
         cache_entries: Optional[int] = None,
         prefix_affinity: bool = True,
+        lane_pool: Optional[LanePool] = None,
     ):
-        if workers < 0:
+        if lane_pool is not None:
+            workers = lane_pool.workers
+        elif workers < 0:
             raise ValueError("workers must be >= 0")
         self.evaluator = evaluator
         self.workers = workers
@@ -486,11 +686,12 @@ class EvaluationEngine:
         self._worker_steps = 0
         self._worker_snapshot_hits = 0
         self._worker_snapshot_steps_saved = 0
+        self._worker_snapshot_foreign_hits = 0
         #: shared with the wrapped evaluator via obs.attach_tracer
         self.tracer = getattr(evaluator, "tracer", NULL_TRACER)
-        self._lanes: Optional[List[ProcessPoolExecutor]] = None
-        self._lane_pending: List[int] = []
-        self._lane_of: Dict[str, int] = {}  # scheme identifier → lane index
+        self._pool = lane_pool
+        self._owns_pool = lane_pool is None
+        self._worker_token: Optional[str] = None
 
     # -- engine-wide prefix-reuse stats ------------------------------------
     @property
@@ -509,6 +710,19 @@ class EvaluationEngine:
         return (
             getattr(self.evaluator, "snapshot_steps_saved", 0)
             + self._worker_snapshot_steps_saved
+        )
+
+    @property
+    def snapshot_foreign_hits(self) -> int:
+        """Disk-snapshot resumes of prefixes *another* store instance wrote.
+
+        In a multi-tenant server this counts cross-job (and cross-run)
+        prefix dedup: job B resuming a prefix that job A trained and
+        snapshotted.  Same-instance resumes count in ``snapshot_hits`` only.
+        """
+        return (
+            getattr(self.evaluator, "snapshot_foreign_hits", 0)
+            + self._worker_snapshot_foreign_hits
         )
 
     # -- Evaluator protocol ------------------------------------------------
@@ -666,6 +880,12 @@ class EvaluationEngine:
         singleton group on the least-loaded lane (flat dispatch).  Returns
         ``{identifier: EvaluationResult | _WorkerFailure}``; completion
         *order* is timing-dependent but the caller merges in input order.
+
+        A lane dying mid-group (worker killed, OOM, unpicklable payload)
+        does **not** propagate the raw executor error: the dead group's
+        schemes become typed :class:`_WorkerFailure` outcomes — surfaced to
+        the caller as one :class:`WorkerError` — and the lane is revived so
+        concurrent engines sharing the pool continue unaffected.
         """
         tracer = self.tracer
         if self.prefix_affinity:
@@ -682,12 +902,13 @@ class EvaluationEngine:
             )
             tracer.finish(span)
 
-        lanes = self._lane_handles()
+        pool = self._pool_handle()
+        token = self._token()
+        config = self.evaluator.config
         pending: Dict[object, tuple] = {}  # future → (group, lane index)
         for group in groups:
-            lane = self._route(group)
-            self._lane_pending[lane] += len(group)
-            pending[lanes[lane].submit(_worker_evaluate_group, group)] = (group, lane)
+            lane = pool.route(group, affinity=self.prefix_affinity)
+            pending[pool.submit(lane, token, config, group)] = (group, lane)
 
         outcomes: Dict[str, object] = {}
         try:
@@ -695,15 +916,36 @@ class EvaluationEngine:
                 done, _ = wait(list(pending), return_when=FIRST_COMPLETED)
                 for future in done:
                     group, lane = pending.pop(future)
-                    self._lane_pending[lane] -= len(group)
-                    result = future.result()  # lane death → raises here
+                    try:
+                        result = future.result()
+                    except Exception as exc:
+                        # Lane death or an infra failure outside the worker's
+                        # per-scheme capture.  Convert to typed failures; a
+                        # broken executor is replaced so other jobs sharing
+                        # the pool keep their lanes.
+                        if isinstance(exc, BrokenProcessPool):
+                            pool.revive(lane)
+                            cause = "WorkerLaneDied"
+                        else:
+                            cause = type(exc).__name__
+                        pool.complete(lane, group)
+                        for scheme in group:
+                            outcomes[scheme.identifier] = _WorkerFailure(
+                                scheme.identifier, cause, str(exc), ""
+                            )
+                        continue
+                    evaluated = [
+                        scheme.identifier
+                        for scheme, outcome in zip(group, result.outcomes)
+                        if not isinstance(outcome, _WorkerFailure)
+                    ]
+                    pool.complete(lane, group, evaluated)
                     for scheme, outcome in zip(group, result.outcomes):
                         outcomes[scheme.identifier] = outcome
-                        if not isinstance(outcome, _WorkerFailure):
-                            self._lane_of[scheme.identifier] = lane
                     self._worker_steps += result.steps_executed
                     self._worker_snapshot_hits += result.snapshot_hits
                     self._worker_snapshot_steps_saved += result.snapshot_steps_saved
+                    self._worker_snapshot_foreign_hits += result.snapshot_foreign_hits
                     if tracer.enabled and result.snapshot_hits:
                         tracer.metrics.counter("engine.snapshot_hits").inc(
                             result.snapshot_hits
@@ -711,52 +953,57 @@ class EvaluationEngine:
         except BaseException:
             for future in pending:
                 future.cancel()
+            for group, lane in pending.values():
+                pool.complete(lane, group)
             raise
         return outcomes
 
-    def _route(self, group: List[CompressionScheme]) -> int:
-        """Pick a lane: deepest-known-prefix affinity, least-loaded fallback.
+    def _pool_handle(self) -> LanePool:
+        if self._pool is None:
+            self._pool = LanePool(self.workers)
+        return self._pool
 
-        The lane that most recently evaluated the group head's longest known
-        prefix already holds (or recently held) that model in its LRU.  A
-        lane more than one group behind the least-loaded lane forfeits its
-        affinity — the snapshot store makes a cold lane only moderately
-        slower, while an idle lane is free parallelism.
+    def _token(self) -> str:
+        """Stable key for this engine's worker-side evaluator cache.
+
+        Covers the evaluator fingerprint *plus* the config knobs that are
+        excluded from it but change worker-side behaviour (snapshot store
+        location/budget, lint toggle, static budget caps) — two engines get
+        the same token iff a warm worker evaluator is interchangeable
+        between them.
         """
-        least = min(range(self.workers), key=lambda i: (self._lane_pending[i], i))
-        head = group[0]
-        for length in range(head.length - 1, 0, -1):
-            preferred = self._lane_of.get(head.prefix(length).identifier)
-            if preferred is not None:
-                if self._lane_pending[preferred] > self._lane_pending[least] + 1:
-                    return least
-                return preferred
-        return least
-
-    def _lane_handles(self) -> List[ProcessPoolExecutor]:
-        if self._lanes is None:
-            self._lanes = [
-                ProcessPoolExecutor(
-                    max_workers=1,
-                    initializer=_init_worker,
-                    initargs=(self.evaluator.config,),
-                )
-                for _ in range(self.workers)
-            ]
-            self._lane_pending = [0] * self.workers
-        return self._lanes
+        if self._worker_token is None:
+            config = self.evaluator.config
+            budget = getattr(config, "budget", None)
+            extras = {
+                "snapshot_dir": str(config.snapshot_dir) if config.snapshot_dir else None,
+                "snapshot_budget_mb": config.snapshot_budget_mb,
+                "lint": config.lint_schemes,
+                "budget": budget.to_payload() if budget is not None else None,
+            }
+            blob = self.evaluator.fingerprint() + json.dumps(
+                extras, sort_keys=True, default=repr
+            )
+            self._worker_token = hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+        return self._worker_token
 
     # -- lifecycle ---------------------------------------------------------
+    @property
+    def lane_pool(self) -> Optional[LanePool]:
+        """The pool lanes run on (``None`` until the first parallel batch)."""
+        return self._pool
+
     def close(self) -> None:
-        """Shut all worker lanes down (idempotent; a later batch re-creates
-        them).  Lane affinity is forgotten — fresh lanes have cold LRUs, and
-        only the disk snapshot store survives."""
-        if self._lanes is not None:
-            for lane in self._lanes:
-                lane.shutdown(wait=True)
-            self._lanes = None
-            self._lane_pending = []
-            self._lane_of = {}
+        """Release worker lanes (idempotent; a later batch re-creates them).
+
+        A private pool is shut down and its affinity forgotten — fresh lanes
+        have cold LRUs, and only the disk snapshot store survives.  A
+        *borrowed* pool (``lane_pool=`` at construction) is left running for
+        its other tenants; closing it is its owner's job.
+        """
+        if self._pool is not None and self._owns_pool:
+            self._pool.close()
+            self._pool = None
 
     def __enter__(self) -> "EvaluationEngine":
         return self

@@ -171,6 +171,8 @@ class SchemeEvaluator:
         self.snapshot_hits = 0
         self.snapshot_misses = 0
         self.snapshot_steps_saved = 0
+        #: hits on snapshots written by another process/job/run (cross-job dedup)
+        self.snapshot_foreign_hits = 0
         self._snapshot_store: Optional[ModelSnapshotStore] = None
         self._snapshot_store_ready = False
 
@@ -261,6 +263,8 @@ class SchemeEvaluator:
                 if snapshot is not None:
                     self.snapshot_hits += 1
                     self.snapshot_steps_saved += length
+                    if identifier not in store.written_ids:
+                        self.snapshot_foreign_hits += 1
                     if tracer.enabled:
                         tracer.event("snapshot_hit", prefix=identifier, steps=length)
                         tracer.metrics.counter("snapshot.hits").inc()

@@ -40,7 +40,7 @@ import os
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Set
 
 from ..compression import StepReport
 from ..nn import Module
@@ -70,6 +70,10 @@ class ModelSnapshotStore:
 
     ``hits`` / ``misses`` / ``bytes_written`` / ``bytes_evicted`` are plain
     counters the owning evaluator mirrors into its tracer metrics.
+    ``foreign_hits`` counts the subset of hits whose snapshot this store
+    *instance* never wrote — i.e. prefixes trained by another process, job
+    or run sharing the directory.  In a multi-tenant server this is the
+    direct measure of cross-job prefix dedup.
     """
 
     SUFFIX = ".snap"
@@ -90,9 +94,12 @@ class ModelSnapshotStore:
         self.root.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.foreign_hits = 0
         self.bytes_written = 0
         self.bytes_evicted = 0
         self.evictions = 0
+        #: identifiers this instance wrote; hits outside it are "foreign"
+        self.written_ids: Set[str] = set()
 
     # ------------------------------------------------------------------ #
     def _path(self, identifier: str) -> Path:
@@ -129,6 +136,8 @@ class ModelSnapshotStore:
         except OSError:
             pass
         self.hits += 1
+        if identifier not in self.written_ids:
+            self.foreign_hits += 1
         return ModelSnapshot(
             identifier=identifier,
             model=model,
@@ -161,6 +170,7 @@ class ModelSnapshotStore:
             except OSError:
                 pass
             raise
+        self.written_ids.add(snapshot.identifier)
         self._evict(keep=path)
 
     # ------------------------------------------------------------------ #
@@ -215,6 +225,7 @@ class ModelSnapshotStore:
             "budget_bytes": self.budget_bytes,
             "hits": self.hits,
             "misses": self.misses,
+            "foreign_hits": self.foreign_hits,
             "bytes_written": self.bytes_written,
             "bytes_evicted": self.bytes_evicted,
             "evictions": self.evictions,

@@ -213,7 +213,22 @@ class Solver:
         return False
 
     # -- the shared round loop --------------------------------------------- #
-    def run(self) -> SearchResult:
+    def run(
+        self,
+        stop: Optional[Callable[[], bool]] = None,
+        on_round: Optional[Callable[[SearchStrategy], None]] = None,
+    ) -> SearchResult:
+        """Drive the solver to completion; returns the finished result.
+
+        ``stop`` is a cooperative cancellation hook polled at every round
+        boundary: when it returns true the loop exits cleanly and the
+        partial result is finished exactly like a budget exhaustion — the
+        multi-tenant server uses this for job cancellation.  ``on_round``
+        runs after each completed round (post ``record()``), letting a
+        caller stream progress (Pareto fronts, costs) without changing the
+        search: neither hook runs inside the round, so a run with hooks is
+        bit-identical to one without.
+        """
         st = self.strategy
         tracer = st.tracer
         if tracer.enabled:
@@ -224,6 +239,8 @@ class Solver:
         round_index = 0
         empty_rounds = 0
         while st.budget_left() > 0 and not self.done():
+            if stop is not None and stop():
+                break
             span = (
                 tracer.start(
                     "search.round",
@@ -260,6 +277,8 @@ class Solver:
                 self.observe(results)
                 st.record()
                 st.rounds_completed += 1
+                if on_round is not None:
+                    on_round(st)
                 if span is not None and self._round_attrs:
                     span.set(**self._round_attrs)
                 if not batch and empty_rounds >= self.max_empty_rounds:

@@ -16,6 +16,7 @@ of a chain of primitive tape nodes that each allocate a fresh array.
 
 from __future__ import annotations
 
+import threading
 from typing import Optional, Tuple
 
 import numpy as np
@@ -24,9 +25,18 @@ from numpy.lib.stride_tricks import sliding_window_view
 from .tensor import Tensor, _register_op, _unbroadcast
 
 # Optional sink used by repro.nn.profile to count FLOPs during a forward
-# pass.  When set, conv2d/linear/batch_norm/add_relu call
-# ``_PROFILE_SINK(name, flops)``.
-_PROFILE_SINK = None
+# pass.  When a thread sets ``_PROFILE.sink``, conv2d/linear/batch_norm/
+# add_relu on *that thread* call ``sink(name, flops)``.  Thread-local on
+# purpose: concurrent engines (one per search job in `repro serve`) profile
+# models on their own threads, and a shared global sink would interleave
+# their counts — corrupting base FLOPs and, through them, the evaluator
+# fingerprints that key the shared snapshot store.
+_PROFILE = threading.local()
+
+
+def _profile_sink():
+    """This thread's FLOP-counting sink, or ``None`` when not profiling."""
+    return getattr(_PROFILE, "sink", None)
 
 
 def _im2col(x: np.ndarray, kh: int, kw: int, stride: int) -> np.ndarray:
@@ -95,9 +105,10 @@ def conv2d(
     wo = (w + 2 * padding - kw) // stride + 1
     cols = _im2col(xp, kh, kw, stride)  # (N, Ho*Wo, C*kh*kw)
     wmat = weight.data.reshape(f, -1)  # (F, C*kh*kw)
-    if _PROFILE_SINK is not None:
+    sink = _profile_sink()
+    if sink is not None:
         macs = n * ho * wo * f * c * kh * kw
-        _PROFILE_SINK("conv2d", 2 * macs + (n * ho * wo * f if bias is not None else 0))
+        sink("conv2d", 2 * macs + (n * ho * wo * f if bias is not None else 0))
     out = cols @ wmat.T  # (N, Ho*Wo, F)
     if bias is not None:
         out += bias.data
@@ -133,12 +144,13 @@ def conv2d(
 
 def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
     """Affine map ``x @ weight.T + bias`` for (N, in) input and (out, in) weight."""
-    if _PROFILE_SINK is not None:
+    sink = _profile_sink()
+    if sink is not None:
         rows = int(np.prod(x.shape[:-1]))
         macs = rows * weight.shape[0] * weight.shape[1]
         # The bias add counts one FLOP per output element, exactly as conv2d
         # counts its bias, so fused/unfused model profiles agree.
-        _PROFILE_SINK("linear", 2 * macs + (rows * weight.shape[0] if bias is not None else 0))
+        sink("linear", 2 * macs + (rows * weight.shape[0] if bias is not None else 0))
     out = x @ weight.T
     if bias is not None:
         out = out + bias
@@ -156,8 +168,9 @@ def add_relu(a: Tensor, b: Tensor) -> Tensor:
     b = b if isinstance(b, Tensor) else Tensor(b)
     out = a.data + b.data
     np.maximum(out, 0.0, out=out)
-    if _PROFILE_SINK is not None:
-        _PROFILE_SINK("add_relu", out.size)
+    sink = _profile_sink()
+    if sink is not None:
+        sink("add_relu", out.size)
 
     def backward(grad: np.ndarray) -> None:
         g = grad * (out > 0)
@@ -262,8 +275,9 @@ def batch_norm(
     axes = (0, 2, 3) if x.ndim == 4 else (0,)
     shape = (1, -1, 1, 1) if x.ndim == 4 else (1, -1)
     dtype = x.dtype
-    if _PROFILE_SINK is not None:
-        _PROFILE_SINK("batch_norm", 2 * x.size)
+    sink = _profile_sink()
+    if sink is not None:
+        sink("batch_norm", 2 * x.size)
     if training:
         mean = x.data.mean(axis=axes, dtype=dtype)
         var = x.data.var(axis=axes, dtype=dtype)

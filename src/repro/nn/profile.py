@@ -54,13 +54,17 @@ def count_flops(model: Module, input_shape: Tuple[int, int, int]) -> int:
     was_training = model.training
     model.eval()
     dummy = Tensor(np.zeros((1, *input_shape)))
-    previous = F._PROFILE_SINK
-    F._PROFILE_SINK = sink
+    # The sink is installed thread-locally: concurrent engines (one per
+    # search job) profile on their own threads without seeing each other's
+    # forward passes, so measured FLOPs — and the evaluator fingerprints
+    # derived from them — stay deterministic under multi-tenancy.
+    previous = getattr(F._PROFILE, "sink", None)
+    F._PROFILE.sink = sink
     try:
         with no_grad():
             model(dummy)
     finally:
-        F._PROFILE_SINK = previous
+        F._PROFILE.sink = previous
         model.train(was_training)
     return sum(totals.values())
 

@@ -27,6 +27,7 @@ which is the fast path for accuracy evaluation and other pure inference.
 from __future__ import annotations
 
 import sys
+import threading
 import traceback
 from contextlib import contextmanager
 from typing import Callable, Optional, Sequence, Tuple, Union
@@ -75,12 +76,16 @@ def default_dtype(dtype):
 # --------------------------------------------------------------------------- #
 # Gradient mode (no_grad skips tape construction for pure inference)
 # --------------------------------------------------------------------------- #
-_GRAD_ENABLED = True
+# Thread-local on purpose: concurrent engines (one thread per search job in
+# `repro serve`) mix inference and training.  A process-global flag would let
+# one job's no_grad() forward pass silently stop another job's training from
+# recording its tape.
+_GRAD = threading.local()
 
 
 def is_grad_enabled() -> bool:
-    """Whether ops currently record the autodiff tape."""
-    return _GRAD_ENABLED
+    """Whether ops on this thread currently record the autodiff tape."""
+    return getattr(_GRAD, "enabled", True)
 
 
 @contextmanager
@@ -89,18 +94,16 @@ def no_grad():
 
     Ops still compute forward values but skip parent tracking and
     ``_backward`` closures, so inference costs only the numpy work.  The
-    context nests and is exception-safe; calling :meth:`Tensor.backward`
-    inside it raises a clear :class:`RuntimeError`.
+    context nests, is exception-safe, and affects only the calling thread;
+    calling :meth:`Tensor.backward` inside it raises a clear
+    :class:`RuntimeError`.
     """
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
-    Tensor.inference = True
+    previous = getattr(_GRAD, "enabled", True)
+    _GRAD.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
-        Tensor.inference = not previous
+        _GRAD.enabled = previous
 
 
 # --------------------------------------------------------------------------- #
@@ -220,13 +223,17 @@ def _as_array(value: ArrayLike, dtype=None) -> np.ndarray:
     return np.asarray(value, dtype=target)
 
 
-class Tensor:
+class _TensorMeta(type):
+    @property
+    def inference(cls) -> bool:
+        """Class-level mirror of this thread's grad mode — True inside :func:`no_grad`."""
+        return not is_grad_enabled()
+
+
+class Tensor(metaclass=_TensorMeta):
     """A numpy array plus the bookkeeping needed for reverse-mode autodiff."""
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name", "_op", "_ctx")
-
-    #: class-level mirror of the grad mode — True inside :func:`no_grad`
-    inference = False
 
     def __init__(
         self,
@@ -298,7 +305,7 @@ class Tensor:
         parents: Tuple["Tensor", ...],
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
         # Op results keep the dtype the computation produced — the default
         # dtype governs construction of *new* tensors, not propagation.
         out = Tensor(
@@ -584,7 +591,7 @@ class Tensor:
         ``grad`` defaults to ones (i.e. this tensor is treated as a loss); a
         scalar loss is the common case.
         """
-        if not _GRAD_ENABLED:
+        if not is_grad_enabled():
             raise RuntimeError(
                 "Tensor.backward() called inside no_grad(): the tape was never "
                 "recorded. Run the forward pass outside no_grad() to train."
@@ -641,7 +648,7 @@ def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
             sl[axis] = slice(start, stop)
             t._accumulate(grad[tuple(sl)])
 
-    requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+    requires = is_grad_enabled() and any(t.requires_grad for t in tensors)
     out = Tensor(
         data, requires_grad=requires, _parents=tuple(tensors) if requires else (),
         dtype=data.dtype,
@@ -661,7 +668,7 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
         for t, part in zip(tensors, parts):
             t._accumulate(np.squeeze(part, axis=axis))
 
-    requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+    requires = is_grad_enabled() and any(t.requires_grad for t in tensors)
     out = Tensor(
         data, requires_grad=requires, _parents=tuple(tensors) if requires else (),
         dtype=data.dtype,
@@ -682,7 +689,7 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
         a._accumulate(_unbroadcast(grad * cond, a.shape))
         b._accumulate(_unbroadcast(grad * (~cond), b.shape))
 
-    requires = _GRAD_ENABLED and (a.requires_grad or b.requires_grad)
+    requires = is_grad_enabled() and (a.requires_grad or b.requires_grad)
     out = Tensor(
         data, requires_grad=requires, _parents=(a, b) if requires else (),
         dtype=data.dtype,

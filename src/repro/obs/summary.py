@@ -64,7 +64,19 @@ class JournalSummary:
         )
 
     def format(self) -> str:
-        lines = [f"journal {self.path} (schema v{self.schema})"]
+        # An empty or headerless journal has no schema to report; a crashed
+        # run may leave exactly that behind, and the summary must stay usable.
+        schema = "unknown" if self.schema is None else f"v{self.schema}"
+        lines = [f"journal {self.path} (schema {schema})"]
+        if self.records == 0:
+            lines.append(
+                "  empty journal"
+                + (
+                    f" ({self.skipped_lines} unparseable lines skipped)"
+                    if self.skipped_lines
+                    else " (no records)"
+                )
+            )
         if self.run:
             run = ", ".join(f"{k}={v}" for k, v in sorted(self.run.items()))
             lines.append(f"  run: {run}")

@@ -1,0 +1,28 @@
+"""repro.serve — search-as-a-service: a multi-tenant local search daemon.
+
+The package turns the one-shot ``AutoMC.search()`` pipeline into a
+long-lived server: a :class:`~repro.serve.daemon.ServeDaemon` owns a warm
+:class:`~repro.core.engine.LanePool` and a shared snapshot directory, a
+:class:`~repro.serve.scheduler.JobScheduler` multiplexes concurrent search
+jobs onto them with per-job budget/solver/journal isolation, and a
+:class:`~repro.serve.client.ServeClient` talks the JSON-lines protocol
+(``repro serve`` / ``repro job ...`` on the CLI).  See ``docs/serving.md``.
+"""
+
+from .client import ServeClient, ServerError, ServeUnavailable
+from .daemon import ServeDaemon
+from .jobs import JOB_STATES, TERMINAL_STATES, JobRecord, JobSpec, JobTable
+from .scheduler import JobScheduler
+
+__all__ = [
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "JobRecord",
+    "JobScheduler",
+    "JobSpec",
+    "JobTable",
+    "ServeClient",
+    "ServeDaemon",
+    "ServeUnavailable",
+    "ServerError",
+]

@@ -1,0 +1,141 @@
+"""Thin client for the ``repro serve`` daemon (used by ``repro job ...``).
+
+Every method opens one connection, sends one request and reads the
+response; :meth:`ServeClient.watch` keeps its connection open and yields
+the server's event stream.  The daemon is discovered through the endpoint
+file its state directory holds (see :mod:`repro.serve.protocol`).
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Dict, Iterator, List, Optional
+
+from .jobs import JobSpec
+from .protocol import connect, read_endpoint, recv_message, recv_stream, send_message
+
+
+class ServeUnavailable(RuntimeError):
+    """No daemon reachable for the given state directory."""
+
+
+class ServerError(RuntimeError):
+    """The daemon answered a request with ``ok: false``."""
+
+    def __init__(self, error: str, error_type: str = "RuntimeError"):
+        super().__init__(error)
+        self.error_type = error_type
+
+
+class ServeClient:
+    def __init__(
+        self,
+        state_dir=None,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        timeout: float = 60.0,
+    ):
+        if host is None or port is None:
+            if state_dir is None:
+                raise ValueError("ServeClient needs state_dir or host+port")
+            try:
+                endpoint = read_endpoint(state_dir)
+            except FileNotFoundError:
+                raise ServeUnavailable(
+                    f"no serve daemon endpoint under {state_dir} "
+                    "(is `repro serve` running?)"
+                ) from None
+            host = endpoint["host"]
+            port = int(endpoint["port"])
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    def _request(self, op: str, **fields) -> dict:
+        try:
+            sock = connect(self.host, self.port, timeout=self.timeout)
+        except OSError as exc:
+            raise ServeUnavailable(
+                f"cannot reach serve daemon at {self.host}:{self.port}: {exc}"
+            ) from exc
+        with sock:
+            wire = sock.makefile("rwb")
+            send_message(wire, {"op": op, **fields})
+            response = recv_message(wire)
+        if response is None:
+            raise ServeUnavailable("daemon closed the connection mid-request")
+        if not response.get("ok"):
+            raise ServerError(
+                response.get("error", "unknown server error"),
+                response.get("error_type", "RuntimeError"),
+            )
+        return response
+
+    # ------------------------------------------------------------------ #
+    def ping(self) -> dict:
+        return self._request("ping")
+
+    def submit(self, spec: JobSpec) -> dict:
+        """Submit a job; returns its summary (``job_id``, state, ...)."""
+        return self._request("submit", spec=spec.to_payload())["job"]
+
+    def status(self, job_id: str) -> dict:
+        return self._request("status", job_id=job_id)["job"]
+
+    def list_jobs(self) -> List[dict]:
+        return self._request("list")["jobs"]
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("cancel", job_id=job_id)["job"]
+
+    def stats(self) -> dict:
+        return self._request("stats")["stats"]
+
+    def lane_pids(self) -> List[int]:
+        return self._request("lane_pids")["pids"]
+
+    def shutdown(self) -> dict:
+        return self._request("shutdown")
+
+    # ------------------------------------------------------------------ #
+    def watch(self, job_id: str, since: int = 0) -> Iterator[dict]:
+        """Yield job events (round progress, state changes) until terminal.
+
+        The first yielded item is the job's current summary (``kind:
+        "snapshot"``); the final one is ``kind: "done"`` with the terminal
+        summary.
+        """
+        try:
+            sock = connect(self.host, self.port, timeout=self.timeout)
+        except OSError as exc:
+            raise ServeUnavailable(
+                f"cannot reach serve daemon at {self.host}:{self.port}: {exc}"
+            ) from exc
+        with sock:
+            sock.settimeout(None)  # rounds can be slow; block on the stream
+            wire = sock.makefile("rwb")
+            send_message(wire, {"op": "watch", "job_id": job_id, "since": since})
+            first = recv_message(wire)
+            if first is None:
+                raise ServeUnavailable("daemon closed the watch stream")
+            if not first.get("ok"):
+                raise ServerError(
+                    first.get("error", "unknown server error"),
+                    first.get("error_type", "RuntimeError"),
+                )
+            yield {"kind": "snapshot", "job_id": job_id, "job": first["job"]}
+            try:
+                yield from recv_stream(wire)
+            except (OSError, socket.timeout) as exc:
+                raise ServeUnavailable(f"watch stream dropped: {exc}") from exc
+
+    def wait(self, job_id: str) -> Dict[str, object]:
+        """Block until the job is terminal; returns its final summary."""
+        final: Optional[dict] = None
+        for event in self.watch(job_id):
+            if event.get("kind") == "done":
+                final = event["job"]
+        if final is None:
+            raise ServeUnavailable("watch stream ended before the job finished")
+        return final

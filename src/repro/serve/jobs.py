@@ -1,0 +1,341 @@
+"""Job model for the serve daemon: specs, records, and the crash-safe table.
+
+A *job* is one complete search — a solver, a budget and an evaluator config
+submitted by a tenant.  :class:`JobSpec` is the JSON-serialisable request;
+:class:`JobRecord` is the server-side lifecycle state; :class:`JobTable`
+owns the records plus the append-only JSONL journal that makes the table
+recoverable after a crash or SIGTERM.
+
+Journal semantics (``<state_dir>/jobs.jsonl``): every state transition is
+one appended line — ``submitted`` (carrying the full spec), ``started``,
+``round`` (progress), ``completed``/``failed``/``cancelled`` (terminal).
+Lines are flushed as written, so after a crash the journal ends at the last
+completed transition; a possibly-truncated final line is skipped on read.
+:meth:`JobTable.recover` replays the journal and marks every job whose last
+event is non-terminal as ``interrupted`` — its spec survives in the
+journal, so it is *resumable*: a client can resubmit the identical spec and
+(thanks to the shared snapshot store) pay only for un-snapshotted work.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import asdict, dataclass, field, fields
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..core.config import EvaluatorConfig
+from ..space.strategy import StrategySpace
+
+#: journal / table file inside the daemon state directory
+JOBS_JOURNAL = "jobs.jsonl"
+
+#: states a job can be in; the last four are terminal
+JOB_STATES = ("queued", "running", "completed", "failed", "cancelled", "interrupted")
+TERMINAL_STATES = frozenset({"completed", "failed", "cancelled", "interrupted"})
+
+
+@dataclass
+class JobSpec:
+    """Everything a tenant sends to start a search (JSON-round-trippable).
+
+    ``evaluator`` is an :meth:`EvaluatorConfig.to_payload` dict;
+    ``method_labels`` restricts the strategy space (``None`` = full space);
+    ``solver_kwargs`` passes per-solver options exactly like
+    ``AutoMC(solver_kwargs=...)`` — plain JSON values only.
+    """
+
+    evaluator: Dict[str, object]
+    solver: str = "random"
+    tenant: str = "default"
+    gamma: float = 0.3
+    budget_hours: float = 1.0
+    max_length: int = 5
+    seed: int = 0
+    method_labels: Optional[List[str]] = None
+    solver_kwargs: Dict[str, object] = field(default_factory=dict)
+
+    def to_payload(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "JobSpec":
+        if not isinstance(payload, dict):
+            raise ValueError("job spec must be a JSON object")
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown job spec fields: {', '.join(unknown)}")
+        if "evaluator" not in payload:
+            raise ValueError("job spec needs an 'evaluator' config payload")
+        spec = cls(**payload)  # type: ignore[arg-type]
+        spec.validate()
+        return spec
+
+    def validate(self) -> None:
+        """Reject a bad spec before any state is created for it."""
+        from ..core.solver import list_solvers
+
+        if self.solver not in list_solvers():
+            raise ValueError(
+                f"unknown solver {self.solver!r}; registered: "
+                f"{', '.join(list_solvers())}"
+            )
+        if self.budget_hours <= 0:
+            raise ValueError("budget_hours must be > 0")
+        if self.max_length < 1:
+            raise ValueError("max_length must be >= 1")
+        config = self.build_config()
+        if not config.is_buildable:
+            raise ValueError(
+                "evaluator config is not buildable server-side (needs a "
+                "registry model_name and, for the surrogate backend, a task)"
+            )
+
+    def build_config(self) -> EvaluatorConfig:
+        return EvaluatorConfig.from_payload(self.evaluator)
+
+    def build_space(self) -> StrategySpace:
+        if self.method_labels is None:
+            return StrategySpace()
+        return StrategySpace(method_labels=list(self.method_labels))
+
+
+@dataclass
+class JobRecord:
+    """Server-side lifecycle state of one job."""
+
+    job_id: str
+    spec: JobSpec
+    state: str = "queued"
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    rounds: int = 0
+    evaluations: int = 0
+    total_cost: float = 0.0
+    #: terminal result summary (set on completion) — see scheduler._result_payload
+    result: Optional[Dict[str, object]] = None
+    #: typed failure info ({"type", "message", ...}) for failed jobs
+    error: Optional[Dict[str, object]] = None
+    #: cooperative cancellation flag polled by the solver driver
+    cancel_requested: bool = False
+    #: streamed events for `watch` (round / terminal), each with a "seq"
+    events: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def resumable(self) -> bool:
+        """Interrupted and worker-failed jobs can be resubmitted; the shared
+        snapshot store turns the replay into a resume."""
+        return self.state == "interrupted" or (
+            self.state == "failed"
+            and bool(self.error)
+            and self.error.get("type") == "WorkerError"
+        )
+
+    def summary(self) -> Dict[str, object]:
+        """The status payload clients see."""
+        return {
+            "job_id": self.job_id,
+            "tenant": self.spec.tenant,
+            "solver": self.spec.solver,
+            "seed": self.spec.seed,
+            "state": self.state,
+            "resumable": self.resumable,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "rounds": self.rounds,
+            "evaluations": self.evaluations,
+            "total_cost": self.total_cost,
+            "result": self.result,
+            "error": self.error,
+        }
+
+
+class JobTable:
+    """Thread-safe job registry backed by the crash-safe JSONL journal.
+
+    All mutations go through :meth:`transition` / :meth:`progress`, which
+    append to the journal *before* releasing the lock, so the on-disk order
+    matches the in-memory order and a crash loses at most the line being
+    written (skipped on recovery).
+    """
+
+    def __init__(self, state_dir, journal: bool = True):
+        self.state_dir = Path(state_dir)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        self._records: Dict[str, JobRecord] = {}
+        self._next_id = 1
+        self._journal = None
+        if journal:
+            # append mode: restarts extend the same history
+            self._journal = open(  # noqa: SIM115 - lifetime == table lifetime
+                self.state_dir / JOBS_JOURNAL, "a", buffering=1, encoding="utf-8"
+            )
+
+    # -- journal ----------------------------------------------------------
+    def _append(self, event: str, job_id: str, **extra) -> None:
+        if self._journal is None:
+            return
+        record = {"event": event, "job_id": job_id, "at": time.time(), **extra}
+        try:
+            self._journal.write(json.dumps(record, separators=(",", ":")) + "\n")
+        except ValueError:
+            pass  # journal closed during shutdown; the transition is lost
+            # exactly like a crash — recovery marks the job interrupted
+
+    # -- mutations --------------------------------------------------------
+    def create(self, spec: JobSpec) -> JobRecord:
+        with self._lock:
+            job_id = f"job-{self._next_id:04d}"
+            self._next_id += 1
+            record = JobRecord(job_id=job_id, spec=spec, submitted_at=time.time())
+            self._records[job_id] = record
+            self._append("submitted", job_id, spec=spec.to_payload())
+            return record
+
+    def transition(self, job_id: str, state: str, **extra) -> JobRecord:
+        """Move a job to ``state``, journal it, and emit a watch event."""
+        if state not in JOB_STATES:
+            raise ValueError(f"unknown job state {state!r}")
+        with self._lock:
+            record = self._records[job_id]
+            record.state = state
+            if state == "running":
+                record.started_at = time.time()
+            if state in TERMINAL_STATES:
+                record.finished_at = time.time()
+            if "result" in extra:
+                record.result = extra["result"]
+            if "error" in extra:
+                record.error = extra["error"]
+            self._append(state, job_id, **extra)
+            self._emit(record, {"kind": "state", "state": state, **extra})
+            return record
+
+    def progress(
+        self, job_id: str, rounds: int, evaluations: int, total_cost: float,
+        pareto: List[Dict[str, object]],
+    ) -> None:
+        """Record one completed round (journal line + watch event)."""
+        with self._lock:
+            record = self._records[job_id]
+            record.rounds = rounds
+            record.evaluations = evaluations
+            record.total_cost = total_cost
+            payload = {
+                "rounds": rounds,
+                "evaluations": evaluations,
+                "total_cost": total_cost,
+                "pareto": pareto,
+            }
+            self._append("round", job_id, **payload)
+            self._emit(record, {"kind": "round", **payload})
+
+    def request_cancel(self, job_id: str) -> JobRecord:
+        """Flag a job for cooperative cancellation (queued → cancelled now)."""
+        with self._lock:
+            record = self._records[job_id]
+            if record.state in TERMINAL_STATES:
+                return record
+            record.cancel_requested = True
+            if record.state == "queued":
+                return self.transition(job_id, "cancelled")
+            return record
+
+    def _emit(self, record: JobRecord, event: Dict[str, object]) -> None:
+        event["seq"] = len(record.events)
+        event["job_id"] = record.job_id
+        record.events.append(event)
+
+    # -- queries ----------------------------------------------------------
+    def get(self, job_id: str) -> JobRecord:
+        with self._lock:
+            return self._records[job_id]
+
+    def list(self) -> List[JobRecord]:
+        with self._lock:
+            return list(self._records.values())
+
+    def events_since(self, job_id: str, seq: int) -> List[Dict[str, object]]:
+        with self._lock:
+            return list(self._records[job_id].events[seq:])
+
+    def close(self) -> None:
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
+
+    # -- recovery ---------------------------------------------------------
+    @classmethod
+    def recover(cls, state_dir, journal: bool = True) -> "JobTable":
+        """Rebuild the table from a previous daemon's journal.
+
+        Jobs whose last journalled event is non-terminal were in flight when
+        the previous daemon died; they come back as ``interrupted`` (their
+        spec preserved, ``resumable=True``) and the transition is journalled
+        so a second restart sees a terminal state.  Corrupt or truncated
+        journal lines are skipped.
+        """
+        state_dir = Path(state_dir)
+        events: List[dict] = []
+        path = state_dir / JOBS_JOURNAL
+        if path.exists():
+            with open(path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    if not line.endswith("\n"):
+                        break  # truncated crash write
+                    try:
+                        event = json.loads(line)
+                    except ValueError:
+                        continue
+                    if isinstance(event, dict) and "job_id" in event:
+                        events.append(event)
+
+        table = cls(state_dir, journal=journal)
+        interrupted: List[str] = []
+        for event in events:
+            job_id = event["job_id"]
+            kind = event.get("event")
+            if kind == "submitted":
+                try:
+                    spec = JobSpec.from_payload(event.get("spec") or {})
+                except ValueError:
+                    continue  # spec from a newer/older schema; drop the job
+                record = JobRecord(
+                    job_id=job_id, spec=spec,
+                    submitted_at=event.get("at", 0.0),
+                )
+                table._records[job_id] = record
+                # keep ids monotonic across restarts
+                try:
+                    table._next_id = max(table._next_id, int(job_id.split("-")[-1]) + 1)
+                except ValueError:
+                    pass
+            elif job_id in table._records:
+                record = table._records[job_id]
+                if kind == "round":
+                    record.rounds = event.get("rounds", record.rounds)
+                    record.evaluations = event.get("evaluations", record.evaluations)
+                    record.total_cost = event.get("total_cost", record.total_cost)
+                elif kind in JOB_STATES:
+                    record.state = kind
+                    if kind == "running":
+                        record.started_at = event.get("at")
+                    if kind in TERMINAL_STATES:
+                        record.finished_at = event.get("at")
+                    if "result" in event:
+                        record.result = event["result"]
+                    if "error" in event:
+                        record.error = event["error"]
+
+        for record in table._records.values():
+            if record.state not in TERMINAL_STATES:
+                interrupted.append(record.job_id)
+        for job_id in interrupted:
+            table.transition(job_id, "interrupted")
+        return table

@@ -181,3 +181,74 @@ class TestJournalFuzz:
     def test_summarize_missing_file_raises_oserror_only(self, tmp_path):
         with pytest.raises(OSError):
             summarize_journal(tmp_path / "does-not-exist.jsonl")
+
+
+# --------------------------------------------------------------------------- #
+class TestJournalEdgeCaseRegressions:
+    """Crash-adjacent journals through both the API and the CLI.
+
+    A daemon killed mid-write leaves behind either an empty journal (opened
+    but never flushed) or one whose final line is chopped mid-record; both
+    must summarise cleanly and render without placeholder artifacts like
+    ``schema vNone``, and ``repro trace summarize`` must exit 2 — never
+    traceback — on unreadable paths.
+    """
+
+    def test_empty_journal_summarizes_and_formats(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_bytes(b"")
+        summary = summarize_journal(path)
+        assert summary.records == 0
+        assert summary.skipped_lines == 0
+        assert summary.schema is None
+        text = summary.format()
+        assert "schema unknown" in text
+        assert "empty journal" in text
+        assert "vNone" not in text
+
+    def test_crash_truncated_final_line_keeps_complete_records(self, tmp_path):
+        path = tmp_path / "full.jsonl"
+        with RunJournal(path, run={"solver": "random"}) as journal:
+            for i in range(3):
+                journal.write(
+                    {"type": "span", "name": "evaluate", "id": i + 1,
+                     "parent": None, "t": 0.0, "dur": 0.01, "cost": 0.125,
+                     "attrs": {"scheme": f"s{i}"}}
+                )
+        data = path.read_bytes()
+        # chop mid-way through the final record, crash-style
+        cut_path = tmp_path / "cut.jsonl"
+        cut_path.write_bytes(data[: len(data) - 10])
+        summary = summarize_journal(cut_path)
+        # header + two complete evaluate spans survive; the torn line is counted
+        assert summary.schema is not None
+        assert summary.fresh_evaluations == 2
+        assert summary.sim_cost_total == pytest.approx(0.25)
+        assert summary.skipped_lines == 1
+        text = summary.format()
+        assert "1 unparseable lines skipped" in text
+        assert "vNone" not in text
+
+    def test_cli_summarize_empty_journal_exits_zero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "empty.jsonl"
+        path.write_bytes(b"")
+        assert main(["trace", "summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "empty journal" in out
+        assert "schema unknown" in out
+
+    def test_cli_summarize_directory_exits_two(self, tmp_path, capsys):
+        """Regression: a directory path raised IsADirectoryError uncaught."""
+        from repro.cli import main
+
+        assert main(["trace", "summarize", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "cannot read journal" in err
+
+    def test_cli_summarize_missing_file_exits_two(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["trace", "summarize", str(tmp_path / "nope.jsonl")]) == 2
+        assert capsys.readouterr().err

@@ -67,6 +67,38 @@ class TestModeManagement:
             assert Tensor.inference
         assert not Tensor.inference
 
+    def test_mode_is_thread_local(self, rng):
+        """One thread's no_grad must not stop another thread from training.
+
+        Regression: the grad flag used to be a process-global, so a serve job
+        doing inference on its own thread silently disabled tape recording for
+        every concurrently-training job (``backward()`` then raised "tape was
+        never recorded").
+        """
+        import threading
+
+        entered = threading.Event()
+        release = threading.Event()
+
+        def hold_no_grad():
+            with no_grad():
+                entered.set()
+                release.wait(timeout=30)
+
+        worker = threading.Thread(target=hold_no_grad)
+        worker.start()
+        try:
+            assert entered.wait(timeout=30)
+            # The other thread is inside no_grad right now; this one trains.
+            assert is_grad_enabled()
+            x = Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+            (x * x).sum().backward()
+            np.testing.assert_allclose(x.grad, 2.0 * x.data, rtol=1e-6)
+        finally:
+            release.set()
+            worker.join(timeout=30)
+        assert is_grad_enabled()
+
 
 class TestBackwardGuard:
     def test_backward_raises_inside_no_grad(self, rng):
