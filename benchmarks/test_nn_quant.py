@@ -1,0 +1,183 @@
+"""Perf-regression + correctness gate for the int8/fp16 inference fast path.
+
+Mirrors ``test_nn_kernels.py`` for the quantized path:
+
+* *correctness*: the int8 kernels must agree with an exact int32 reference
+  (same quantized operands) and stay within quantization tolerance of the
+  float32 fused path on a whole ResNet; fp16 storage must be nearly exact;
+* *performance*: int8 inference must stay >= 1.5x faster than the float32
+  fused path on the full-size workload (same model, batch and data — the
+  baseline is measured in the same run, so the gate is machine-independent);
+* *report*: ``BENCH_quant.json`` is written to ``benchmarks/out/`` so CI can
+  upload it; ``benchmarks/BENCH_quant.json`` commits a reference run.
+
+``REPRO_BENCH_SMOKE=1`` shrinks the workload; the perf gate is skipped there
+because smoke-sized timings are dominated by Python dispatch.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.models import resnet8
+from repro.nn import Tensor, no_grad
+from repro.nn.bench import build_quant_report, run_quant_benchmarks
+from repro.nn.quant import (
+    quant_conv2d,
+    quant_linear,
+    quantize_activation,
+    quantize_module,
+    quantize_weight,
+    quantized_bits,
+)
+
+from .conftest import OUT_DIR
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+
+
+# --------------------------------------------------------------------------- #
+# Int8 kernels match the exact int32 reference
+# --------------------------------------------------------------------------- #
+def _conv2d_int32_reference(xq, qweight, stride, padding):
+    """Exact integer convolution of int8 operands, accumulated in int64."""
+    n, c, h, w = xq.shape
+    f, _, kh, kw = qweight.shape
+    if padding:
+        xq = np.pad(xq, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    ho = (h + 2 * padding - kh) // stride + 1
+    wo = (w + 2 * padding - kw) // stride + 1
+    out = np.zeros((n, f, ho, wo), dtype=np.int64)
+    wi = qweight.astype(np.int64)
+    xi = xq.astype(np.int64)
+    for i in range(ho):
+        for j in range(wo):
+            patch = xi[:, :, i * stride : i * stride + kh, j * stride : j * stride + kw]
+            out[:, :, i, j] = np.einsum("ncij,fcij->nf", patch, wi)
+    return out
+
+
+class TestInt8KernelExactness:
+    def test_quant_conv2d_matches_int32_reference(self, rng):
+        x = rng.normal(size=(2, 5, 9, 9)).astype(np.float32)
+        w = rng.normal(size=(4, 5, 3, 3)).astype(np.float32)
+        qw, w_scale = quantize_weight(w)
+        xq, x_scale = quantize_activation(x)
+        got = quant_conv2d(
+            Tensor(x), qw, w_scale, stride=2, padding=1, x_scale=x_scale
+        ).data
+        ref = _conv2d_int32_reference(xq, qw, stride=2, padding=1)
+        expected = ref.astype(np.float64) * (x_scale * w_scale)[None, :, None, None]
+        # float32-BLAS accumulation of int8 products is exact at this fan-in
+        np.testing.assert_allclose(got, expected, rtol=1e-6, atol=1e-6)
+
+    def test_quant_linear_matches_int32_reference(self, rng):
+        x = rng.normal(size=(6, 40)).astype(np.float32)
+        w = rng.normal(size=(7, 40)).astype(np.float32)
+        qw, w_scale = quantize_weight(w)
+        xq, x_scale = quantize_activation(x)
+        got = quant_linear(Tensor(x), qw, w_scale, x_scale=x_scale).data
+        ref = xq.astype(np.int64) @ qw.astype(np.int64).T
+        expected = ref.astype(np.float64) * (x_scale * w_scale)[None, :]
+        np.testing.assert_allclose(got, expected, rtol=1e-6, atol=1e-6)
+
+    def test_fused_relu_and_bias(self, rng):
+        x = rng.normal(size=(2, 3, 6, 6)).astype(np.float32)
+        w = rng.normal(size=(4, 3, 3, 3)).astype(np.float32)
+        b = rng.normal(size=(4,)).astype(np.float32)
+        qw, w_scale = quantize_weight(w)
+        plain = quant_conv2d(Tensor(x), qw, w_scale, bias=b, padding=1).data
+        fused = quant_conv2d(
+            Tensor(x), qw, w_scale, bias=b, padding=1, activation="relu"
+        ).data
+        np.testing.assert_array_equal(fused, np.maximum(plain, 0.0))
+
+
+# --------------------------------------------------------------------------- #
+# Whole-model accuracy: quantized vs float32 on the same weights
+# --------------------------------------------------------------------------- #
+class TestQuantizedModelAccuracy:
+    def _model_and_input(self, rng, batch=16):
+        model = resnet8(num_classes=10).eval()
+        x = rng.normal(size=(batch, 3, 16, 16)).astype(np.float32)
+        return model, x
+
+    def test_int8_close_to_float_and_argmax_agrees(self, rng):
+        model, x = self._model_and_input(rng)
+        with no_grad():
+            ref = model(Tensor(x)).data
+        quantize_module(model, mode="int8", calibration=[x])
+        assert quantized_bits(model) == 8
+        with no_grad():
+            got = model(Tensor(x)).data
+        rel = np.abs(got - ref).mean() / np.abs(ref).mean()
+        assert rel < 0.10, f"int8 logits drifted {rel:.3f} relative from float32"
+        agreement = (got.argmax(axis=1) == ref.argmax(axis=1)).mean()
+        assert agreement >= 0.85, f"int8 argmax agreement {agreement:.2f}"
+
+    def test_fp16_nearly_exact(self, rng):
+        model, x = self._model_and_input(rng)
+        with no_grad():
+            ref = model(Tensor(x)).data
+        quantize_module(model, mode="fp16")
+        assert quantized_bits(model) == 16
+        with no_grad():
+            got = model(Tensor(x)).data
+        rel = np.abs(got - ref).mean() / np.abs(ref).mean()
+        assert rel < 5e-3, f"fp16 logits drifted {rel:.5f} relative from float32"
+
+    def test_static_scales_close_to_dynamic(self, rng):
+        model, x = self._model_and_input(rng)
+        dynamic = resnet8(num_classes=10).eval()
+        dynamic.load_state_dict(model.state_dict())
+        quantize_module(model, mode="int8", calibration=[x])  # static scales
+        quantize_module(dynamic, mode="int8")                 # per-batch scales
+        with no_grad():
+            a = model(Tensor(x)).data
+            b = dynamic(Tensor(x)).data
+        rel = np.abs(a - b).mean() / max(np.abs(b).mean(), 1e-12)
+        assert rel < 0.05, f"calibrated scales diverge {rel:.3f} from dynamic"
+
+
+# --------------------------------------------------------------------------- #
+# Microbenchmarks -> BENCH_quant.json (+ speedup gate at full sizes)
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def quant_results():
+    return run_quant_benchmarks(smoke=SMOKE, repeats=3 if SMOKE else 5)
+
+
+def test_quant_benchmarks_emit_report(quant_results):
+    report = build_quant_report(quant_results, smoke=SMOKE)
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / "BENCH_quant.json"
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {path}")
+    for name, seconds in quant_results.items():
+        print(f"  {name:<20} {seconds:.6f}s")
+    assert set(quant_results) == {
+        "inference_float32", "inference_fp16", "inference_int8"
+    }
+    assert all(seconds > 0 for seconds in quant_results.values())
+
+
+@pytest.mark.skipif(SMOKE, reason="smoke sizes are not comparable")
+def test_int8_speedup_vs_float32(quant_results):
+    """The headline claim: int8 inference >= 1.5x the float32 fused path."""
+    speedup = quant_results["inference_float32"] / quant_results["inference_int8"]
+    assert speedup >= 1.5, (
+        f"int8 regressed: {speedup:.2f}x vs same-run float32 "
+        f"({quant_results['inference_float32']:.4f}s -> "
+        f"{quant_results['inference_int8']:.4f}s)"
+    )
+
+
+@pytest.mark.skipif(SMOKE, reason="smoke sizes are not comparable")
+def test_fp16_not_slower_than_float32(quant_results):
+    """fp16 is storage-only; it must not materially slow inference down."""
+    ratio = quant_results["inference_float32"] / quant_results["inference_fp16"]
+    assert ratio >= 0.8, f"fp16 path slowed inference to {ratio:.2f}x of float32"

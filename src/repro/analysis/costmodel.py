@@ -30,6 +30,9 @@ C6     filter-basis factorisation largest-first with the exact LFB
        basis-size formula.
 C7     parameters/FLOPs unchanged; effective weight width becomes
        HP17 bits (weight-memory prediction only).
+C8     parameters/FLOPs unchanged; effective weight width becomes 8
+       (``HP19="int8"``) or 16 (``HP19="fp16"``) bits, matching the
+       executed precision of :func:`repro.nn.quant.quantize_module`.
 ====== ===============================================================
 
 Channel scores are weight-dependent, but their *order statistics* at init are
@@ -48,7 +51,9 @@ post-surgery profiles in the golden tests.
 * ``S003`` act-mem-over-budget  — predicted peak activation memory exceeds
   ``max_act_mem`` bytes;
 * ``S004`` latency-over-budget  — the latency proxy exceeds
-  ``max_latency_ms``.
+  ``max_latency_ms``;
+* ``S005`` weight-mem-over-budget — predicted weight storage at the
+  effective quantized width exceeds ``max_weight_mem`` bytes.
 """
 
 from __future__ import annotations
@@ -77,6 +82,7 @@ S_RULES: Dict[str, str] = {
     "S002": "flops-over-budget",
     "S003": "act-mem-over-budget",
     "S004": "latency-over-budget",
+    "S005": "weight-mem-over-budget",
 }
 
 #: FLOPs rules per registered runtime op (checked by repro.analysis.repolint:
@@ -90,6 +96,8 @@ OP_FLOP_RULES: Dict[str, str] = {
     "max_pool2d": "not counted (comparison-only)",
     "avg_pool2d": "not counted",
     "global_avg_pool2d": "not counted",
+    "quant_conv2d": "2*Ho*Wo*F*C*kh*kw + Ho*Wo*F if bias (same MACs as conv2d)",
+    "quant_linear": "2*out*in + out if bias (same MACs as linear)",
 }
 
 
@@ -126,14 +134,17 @@ class Budget:
     """Hard resource ceilings a compressed model must satisfy.
 
     ``None`` fields are unconstrained.  ``max_params``/``max_flops`` are
-    absolute counts, ``max_act_mem`` is bytes, ``max_latency_ms`` is the
-    latency-proxy ceiling in milliseconds.
+    absolute counts, ``max_act_mem``/``max_weight_mem`` are bytes,
+    ``max_latency_ms`` is the latency ceiling in milliseconds (checked
+    statically against the proxy, and — when measured latency is enabled —
+    against real wall-clock by the evaluators).
     """
 
     max_params: Optional[int] = None
     max_flops: Optional[int] = None
     max_act_mem: Optional[int] = None
     max_latency_ms: Optional[float] = None
+    max_weight_mem: Optional[int] = None
 
     @property
     def is_null(self) -> bool:
@@ -142,6 +153,7 @@ class Budget:
             and self.max_flops is None
             and self.max_act_mem is None
             and self.max_latency_ms is None
+            and self.max_weight_mem is None
         )
 
     def violations(self, prediction: CostPrediction) -> List[Tuple[str, str, object, object]]:
@@ -167,6 +179,11 @@ class Budget:
                 "S004", "predicted latency proxy exceeds the budget",
                 f"<= {self.max_latency_ms} ms", round(prediction.latency_ms, 4),
             ))
+        if self.max_weight_mem is not None and prediction.weight_mem > self.max_weight_mem:
+            found.append((
+                "S005", "predicted weight storage exceeds the budget",
+                f"<= {self.max_weight_mem} bytes", prediction.weight_mem,
+            ))
         return found
 
     def feasible(self, prediction: CostPrediction) -> bool:
@@ -178,6 +195,7 @@ class Budget:
             "max_flops": self.max_flops,
             "max_act_mem": self.max_act_mem,
             "max_latency_ms": self.max_latency_ms,
+            "max_weight_mem": self.max_weight_mem,
         }
 
     @classmethod
@@ -189,6 +207,7 @@ class Budget:
             max_flops=payload.get("max_flops"),
             max_act_mem=payload.get("max_act_mem"),
             max_latency_ms=payload.get("max_latency_ms"),
+            max_weight_mem=payload.get("max_weight_mem"),
         )
         return None if budget.is_null else budget
 
@@ -849,6 +868,9 @@ def apply_strategy(model: AbstractModel, strategy, base_params: int) -> None:
         _abstract_basis_factorize(model, budget)
     elif label == "C7":
         model.weight_bits = int(hp.get("HP17", DEFAULT_WEIGHT_BITS))
+    elif label == "C8":
+        # Real PTQ: executed precision is exactly the mode's storage width.
+        model.weight_bits = 8 if str(hp.get("HP19", "int8")) == "int8" else 16
     else:
         raise ValueError(f"no effect signature for method {label!r}")
 

@@ -19,8 +19,9 @@ metadata (no model, no dataset):
   of the original parameters, which no execution can satisfy (error);
   ``L008`` aggressive-compression — the sum is above the feasibility bound
   built-in searches enforce (warning);
-* ``L009`` duplicate-quantization — INQ applied twice is a guaranteed no-op:
-  weights are already powers of two after the first pass (error);
+* ``L009`` duplicate-quantization — a quantizing method (C7 INQ, C8 PTQ)
+  applied twice is a guaranteed no-op or an outright execution failure:
+  the model is already in quantized form after the first pass (error);
 * ``L010`` repeated-strategy — the same strategy twice in a row likely
   re-buys work already done (warning);
 * ``L011`` structural-after-quantization — any later strategy retrains or
@@ -31,7 +32,8 @@ metadata (no model, no dataset):
 When a :class:`~repro.analysis.costmodel.Budget` and a
 :class:`~repro.analysis.costmodel.SchemeCostModel` are supplied, the linter
 additionally runs the ``S###`` budget-feasibility rules (S001 params, S002
-FLOPs, S003 activation memory, S004 latency proxy): the scheme is abstractly
+FLOPs, S003 activation memory, S004 latency proxy, S005 weight memory at the
+effective quantized width): the scheme is abstractly
 interpreted and every predicted cost exceeding its ceiling is an error —
 still without paying any evaluation cost.
 
@@ -58,10 +60,12 @@ AGGRESSIVE_TOTAL_STEP = 0.9
 _FACTORIZING = {"C5", "C6"}
 #: pruning methods that consume PrunableUnits
 _PRUNING = {"C2", "C3", "C4"}
+#: quantizing methods — at most one per scheme, and nothing structural after
+_QUANTIZING = {"C7", "C8"}
 #: open-interval (0, 1) hyperparameters
 _UNIT_INTERVAL_HPS = {"HP1", "HP2", "HP6", "HP7", "HP9", "HP13", "HP18"}
 #: strictly positive hyperparameters
-_POSITIVE_HPS = {"HP4", "HP5", "HP10", "HP14", "HP15", "HP17"}
+_POSITIVE_HPS = {"HP4", "HP5", "HP10", "HP14", "HP15", "HP17", "HP20"}
 
 
 class SchemeRejected(ValueError):
@@ -166,19 +170,19 @@ def lint_scheme(
             if hp_name in expected_hps:
                 _check_value(report, where, hp_name, value)
 
-        if strategy.method_label == "C7":
+        if strategy.method_label in _QUANTIZING:
             if quantized_at is not None:
                 report.error(
                     "L009", where,
-                    "quantization applied twice — the second pass is a "
-                    "guaranteed no-op on already power-of-two weights",
+                    "quantization applied twice — the model is already in "
+                    "quantized form after the first pass",
                 )
             quantized_at = position
         elif quantized_at is not None:
             report.warn(
                 "L011", where,
-                "strategy after quantization retrains weights and destroys "
-                f"the power-of-two format from step {quantized_at + 1}",
+                "strategy after quantization retrains or rewrites weights and "
+                f"destroys the quantized format from step {quantized_at + 1}",
             )
         if strategy.method_label in _FACTORIZING:
             factorized_at = position

@@ -26,6 +26,12 @@ R003  every registered runtime op needs a FLOPs rule
       ``costmodel.OP_FLOP_RULES`` — otherwise abstract predictions
       silently diverge from ``profile_model`` on models using the new op.
 
+R005  every quantized op needs a FLOPs rule
+      Same contract as R003, applied to ``repro.nn.quant``: the int8/fp16
+      inference kernels register op names for the profiler, and each must
+      appear in ``costmodel.OP_FLOP_RULES`` so abstract predictions cover
+      quantized models too.
+
 R004  every ``Solver`` subclass must be registered
       Solvers are looked up by name through the registry in
       :mod:`repro.core.solver` (``AutoMC(solver=...)``, ``repro search
@@ -54,6 +60,7 @@ R_RULES = {
     "R002": "float64 in a repro.nn hot-path module",
     "R003": "registered op missing from costmodel.OP_FLOP_RULES",
     "R004": "Solver subclass without @register_solver",
+    "R005": "quantized op missing from costmodel.OP_FLOP_RULES",
 }
 
 #: repro.nn modules whose kernels must stay float32-clean (R002)
@@ -131,8 +138,8 @@ def registered_op_names(tree: ast.AST) -> List[ast.Constant]:
     return names
 
 
-def check_flop_rules(tree: ast.AST, path: str) -> List[Violation]:
-    """R003: every registered op name must have a FLOPs rule."""
+def check_flop_rules(tree: ast.AST, path: str, rule: str = "R003") -> List[Violation]:
+    """R003/R005: every registered op name must have a FLOPs rule."""
     from .costmodel import OP_FLOP_RULES
 
     found = []
@@ -140,7 +147,7 @@ def check_flop_rules(tree: ast.AST, path: str) -> List[Violation]:
         if constant.value not in OP_FLOP_RULES:
             found.append(
                 Violation(
-                    "R003", path, constant.lineno,
+                    rule, path, constant.lineno,
                     f"op {constant.value!r} has no entry in "
                     f"repro.analysis.costmodel.OP_FLOP_RULES — the static "
                     f"cost model cannot count it",
@@ -215,6 +222,8 @@ def lint_path(path: str) -> List[Violation]:
         violations.extend(check_float64(tree, path))
     if normalized.endswith("nn/functional.py"):
         violations.extend(check_flop_rules(tree, path))
+    if normalized.endswith("nn/quant.py"):
+        violations.extend(check_flop_rules(tree, path, rule="R005"))
     return violations
 
 

@@ -26,7 +26,7 @@ def _add_budget_args(parser: argparse.ArgumentParser) -> None:
 
 
 def _add_static_budget_args(parser: argparse.ArgumentParser) -> None:
-    """Static cost-model ceilings (repro.analysis.costmodel S001-S004)."""
+    """Static cost-model ceilings (repro.analysis.costmodel S001-S005)."""
     parser.add_argument("--max-params", type=int, default=None,
                         help="S001: reject schemes whose predicted parameter "
                              "count exceeds this cap (no evaluation cost)")
@@ -36,6 +36,10 @@ def _add_static_budget_args(parser: argparse.ArgumentParser) -> None:
                         help="S003: cap on predicted peak activation bytes")
     parser.add_argument("--max-latency-ms", type=float, default=None,
                         help="S004: cap on the predicted latency proxy (ms)")
+    parser.add_argument("--max-weight-mem", type=int, default=None,
+                        help="S005: cap on predicted weight storage bytes "
+                             "(params x effective weight bits; quantization "
+                             "shrinks it without removing parameters)")
 
 
 def _config(args) -> "ExperimentConfig":
@@ -52,6 +56,8 @@ def _config(args) -> "ExperimentConfig":
         max_flops=getattr(args, "max_flops", None),
         max_act_mem=getattr(args, "max_act_mem", None),
         max_latency_ms=getattr(args, "max_latency_ms", None),
+        max_weight_mem=getattr(args, "max_weight_mem", None),
+        latency_batch=getattr(args, "latency_batch", None),
     )
 
 
@@ -60,15 +66,26 @@ def cmd_search(args) -> int:
 
     exp = {"exp1": "Exp1", "exp2": "Exp2"}[args.experiment]
     name = args.solver if getattr(args, "solver", None) else args.algorithm
-    result = run_algorithm(name, exp, _config(args))
+    space = None
+    if getattr(args, "methods", None):
+        from .space import StrategySpace
+
+        space = StrategySpace(method_labels=args.methods.split(","))
+    elif getattr(args, "quantization", False):
+        from .space import StrategySpace
+
+        space = StrategySpace(include_quantization=True)
+    result = run_algorithm(name, exp, _config(args), space=space)
     print(result.summary())
     if result.engine_stats is not None:
         stats = result.engine_stats
         if "workers" in stats:
+            foreign = stats.get("cache_foreign_hits", 0)
             print(
                 f"engine: {stats['workers']} workers, "
                 f"{stats['fresh_evaluations']} fresh evaluations, "
-                f"{stats['cache_hits']} persistent-cache hits, "
+                f"{stats['cache_hits']} persistent-cache hits "
+                f"({foreign} written by other runs), "
                 f"{stats['steps_replayed']} steps replayed"
             )
         if stats.get("snapshot_hits"):
@@ -82,11 +99,21 @@ def cmd_search(args) -> int:
                 f"generation, {stats['budget_filtered']} filtered pre-batch, "
                 f"{stats['budget_rejects']} lint-rejected (all at zero cost)"
             )
+        if "latency_violations" in stats:
+            print(
+                f"measured latency: {stats['latency_violations']} evaluated "
+                f"schemes over the --max-latency-ms budget (wall-clock)"
+            )
         if stats.get("predicted_evals"):
             print(
                 f"cost-model drift over {stats['predicted_evals']} evaluations: "
                 f"params {stats['drift_params_pct']:.2f}%, "
                 f"flops {stats['drift_flops_pct']:.2f}% (mean absolute)"
+            )
+        if stats.get("weight_bits_mismatches"):
+            print(
+                f"weight-bits drift: {stats['weight_bits_mismatches']:.0f} "
+                f"evaluations where executed precision != predicted"
             )
     print()
     print(f"Pareto schemes with PR >= {result.gamma:.0%}:")
@@ -229,10 +256,12 @@ def _analyze_space(args, input_shape) -> int:
         max_flops=args.max_flops,
         max_act_mem=args.max_act_mem,
         max_latency_ms=args.max_latency_ms,
+        max_weight_mem=args.max_weight_mem,
     )
     if budget.is_null:
         print("analyze space needs at least one cap: --max-params, --max-flops, "
-              "--max-act-mem or --max-latency-ms", file=sys.stderr)
+              "--max-act-mem, --max-latency-ms or --max-weight-mem",
+              file=sys.stderr)
         return 2
     if args.target_model not in available_models():
         print(f"unknown model {args.target_model!r}; available: "
@@ -339,6 +368,7 @@ def cmd_analyze(args) -> int:
             max_flops=args.max_flops,
             max_act_mem=args.max_act_mem,
             max_latency_ms=args.max_latency_ms,
+            max_weight_mem=args.max_weight_mem,
         )
         if budget.is_null:
             reports.append(lint_scheme(scheme))
@@ -369,12 +399,44 @@ def cmd_analyze(args) -> int:
 def cmd_bench(args) -> int:
     import json
 
-    from .nn.bench import build_report, format_report, run_kernel_benchmarks
-
-    results = run_kernel_benchmarks(
-        smoke=args.smoke, repeats=args.repeats, seed=args.seed, only=args.only
+    from .nn.bench import (
+        build_quant_report,
+        build_report,
+        format_report,
+        load_baseline,
+        run_kernel_benchmarks,
+        run_quant_benchmarks,
     )
-    report = build_report(results, smoke=args.smoke)
+
+    if args.suite == "quant":
+        results = run_quant_benchmarks(
+            smoke=args.smoke, repeats=args.repeats, seed=args.seed
+        )
+    else:
+        results = run_kernel_benchmarks(
+            smoke=args.smoke, repeats=args.repeats, seed=args.seed, only=args.only
+        )
+
+    if args.compare:
+        # Ad-hoc A/B: baseline column comes from an earlier report file
+        # instead of the suite's committed/built-in reference.  An unusable
+        # file degrades to "no baseline" rather than crashing mid-run.
+        try:
+            baseline = load_baseline(args.compare)
+            description = f"earlier run loaded from {args.compare}"
+        except ValueError as exc:
+            print(f"no baseline usable from {args.compare} ({exc}); "
+                  f"recording fresh numbers", file=sys.stderr)
+            baseline, description = {}, f"unusable baseline file {args.compare}"
+        report = build_report(
+            results, smoke=args.smoke, baseline=baseline, description=description,
+            suite=("repro.nn quantized inference" if args.suite == "quant"
+                   else "repro.nn kernel microbenchmarks"),
+        )
+    elif args.suite == "quant":
+        report = build_quant_report(results, smoke=args.smoke)
+    else:
+        report = build_report(results, smoke=args.smoke)
     if args.output:
         with open(args.output, "w") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)
@@ -613,6 +675,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--journal", default=None,
                    help="stream spans/events of the run to this JSONL journal "
                         "(summarize afterwards with 'repro trace summarize')")
+    p.add_argument("--methods", default=None,
+                   help="comma-separated method labels restricting the space, "
+                        "e.g. C3,C8 to compose pruning with post-training "
+                        "quantization")
+    p.add_argument("--quantization", action="store_true",
+                   help="extend the space with the C7/C8 quantization methods")
+    p.add_argument("--latency-batch", dest="latency_batch", type=int, default=None,
+                   help="measure median wall-clock inference latency at this "
+                        "batch size for every evaluated scheme (extra column; "
+                        "with --max-latency-ms, violations are counted against "
+                        "the measured number too)")
     _add_budget_args(p)
     _add_static_budget_args(p)
     p.set_defaults(func=cmd_search)
@@ -701,15 +774,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="microbenchmark the repro.nn kernels (conv/BN/train-step/inference)",
         description="Time the repro.nn hot-path kernels and compare against the "
                     "committed pre-fast-path baseline (see benchmarks/BENCH_nn.json "
-                    "and docs/performance.md).",
+                    "and docs/performance.md).  --suite quant times float32 vs "
+                    "fp16 vs int8 inference on the same model "
+                    "(benchmarks/BENCH_quant.json, docs/quantization.md).",
     )
+    p.add_argument("--suite", choices=["nn", "quant"], default="nn",
+                   help="'nn' = hot-path kernels vs the committed baseline; "
+                        "'quant' = quantized inference vs the float32 path")
     p.add_argument("--smoke", action="store_true",
                    help="tiny shapes for CI; numbers not comparable to baseline")
     p.add_argument("--repeats", type=int, default=5,
                    help="timing repetitions per workload (median is reported)")
     p.add_argument("--only", default=None,
-                   help="run a single workload, e.g. resnet56_step")
+                   help="run a single workload, e.g. resnet56_step (nn suite only)")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--compare", default=None, metavar="PATH",
+                   help="A/B against an earlier report JSON written with "
+                        "--output instead of the built-in baseline; a missing "
+                        "or mismatched file degrades to 'no baseline'")
     p.add_argument("--json", action="store_true", help="emit machine-readable JSON")
     p.add_argument("--output", default=None,
                    help="also write the JSON report here (e.g. BENCH_nn.json)")

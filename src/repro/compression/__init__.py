@@ -1,4 +1,4 @@
-"""The six compression methods of Table 1 (plus the C7 quantization extension).
+"""The six compression methods of Table 1 (plus the C7/C8 quantization extensions).
 
 ``METHODS`` maps the paper's labels (C1..C6) to singleton method objects;
 :func:`get_method` resolves a label or name case-insensitively.
@@ -15,6 +15,7 @@ from .lfb import LearningFilterBasis
 from .lma import LMADistillation
 from .masks import masked_evaluation, zero_unit_channels
 from .ns import NetworkSlimming
+from .quant import PostTrainingQuantization
 from .quantization import IncrementalQuantization, quantize_to_power_of_two
 from .sfp import SoftFilterPruning
 from .surgery import (
@@ -45,6 +46,7 @@ METHODS: Dict[str, CompressionMethod] = {
 
 EXTENSION_METHODS: Dict[str, CompressionMethod] = {
     "C7": IncrementalQuantization(),
+    "C8": PostTrainingQuantization(),
 }
 
 
@@ -68,6 +70,7 @@ __all__ = [
     "LearningFilterBasis",
     "METHODS",
     "NetworkSlimming",
+    "PostTrainingQuantization",
     "PruningPlan",
     "SoftFilterPruning",
     "StepReport",

@@ -69,6 +69,11 @@ class EvaluatorConfig:
     # only *filters* which schemes are evaluated — it never changes a measured
     # result — so, like linting, it stays out of the fingerprint.
     budget: Optional[Budget] = field(default=None, compare=False)
+    # Measured latency: batch size for the median wall-clock inference timing
+    # attached to each result (None disables it).  Wall-clock is machine- and
+    # load-dependent, so it is an *extra measured column*, never an input to
+    # the deterministic quantities — it stays out of the fingerprint.
+    latency_batch: Optional[int] = field(default=None, compare=False)
     # Prefix-model snapshot store (repro.core.snapshots).  Presentation-layer
     # knobs: resuming a snapshot is bit-identical to replaying the prefix, so
     # neither field enters the fingerprint.  Carried in the config so engine

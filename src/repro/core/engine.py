@@ -432,6 +432,12 @@ class ResultCache:
     ``max_entries`` caps the number of result files in this fingerprint's
     directory; when a put pushes past it, the oldest entries (file mtime,
     refreshed on every hit) are pruned first.  ``None`` disables the cap.
+
+    One instance can be shared by several engines (the serve scheduler hands
+    one cache to every job): ``written_ids`` tracks the identifiers *this*
+    instance wrote, so a hit on an entry written elsewhere — another job,
+    another process, a previous run — is detectable as a *foreign* hit, the
+    result-level analogue of snapshot ``written_ids`` foreign-hit tracking.
     """
 
     def __init__(
@@ -445,6 +451,8 @@ class ResultCache:
         self.max_entries = max_entries
         self.root.mkdir(parents=True, exist_ok=True)
         self._entry_count: Optional[int] = None  # lazy; maintained on put
+        #: identifiers written through this instance (foreign-hit detection)
+        self.written_ids: set = set()
 
     def _path(self, identifier: str) -> Path:
         digest = hashlib.sha256(identifier.encode("utf-8")).hexdigest()[:24]
@@ -473,6 +481,7 @@ class ResultCache:
             cost=payload["cost"],
             step_reports=[StepReport(**r) for r in payload["step_reports"]],
             step_costs=list(payload["step_costs"]),
+            latency_ms=payload.get("latency_ms", 0.0),
         )
 
     def put(self, result: EvaluationResult) -> None:
@@ -487,7 +496,9 @@ class ResultCache:
             "cost": result.cost,  # informational; hits are re-charged at zero
             "step_costs": result.step_costs,
             "step_reports": [asdict(r) for r in result.step_reports],
+            "latency_ms": result.latency_ms,
         }
+        self.written_ids.add(result.scheme.identifier)
         path = self._path(result.scheme.identifier)
         existed = path.exists()
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
@@ -680,6 +691,9 @@ class EvaluationEngine:
             else None
         )
         self.cache_hits = 0
+        #: disk hits on entries this engine's cache instance did not write —
+        #: cross-job/cross-run result dedup (mirrors snapshot_foreign_hits)
+        self.cache_foreign_hits = 0
         self.fresh_evaluations = 0
         self.worker_failures = 0
         # worker-side accumulators (the wrapped evaluator counts its own)
@@ -783,9 +797,17 @@ class EvaluationEngine:
                     evaluator.results[scheme.identifier] = cached
                     self.cache_hits += 1
                     disk_hits += 1
+                    foreign = scheme.identifier not in self.cache.written_ids
+                    if foreign:
+                        self.cache_foreign_hits += 1
                     if tracer.enabled:
-                        tracer.event("cache_hit", scheme=scheme.identifier, source="disk")
+                        tracer.event(
+                            "cache_hit", scheme=scheme.identifier, source="disk",
+                            foreign=foreign,
+                        )
                         tracer.metrics.counter("cache_hits.disk").inc()
+                        if foreign:
+                            tracer.metrics.counter("cache_hits.foreign").inc()
                 else:
                     fresh.append(scheme)
 

@@ -91,6 +91,9 @@ class EvaluationResult:
     #: strategy, independent of prefix reuse) — the basis of deterministic
     #: incremental charging and of the persistent cache
     step_costs: List[float] = field(default_factory=list)
+    #: measured median wall-clock per inference batch (ms); 0.0 when latency
+    #: measurement is disabled (``config.latency_batch`` unset)
+    latency_ms: float = 0.0
 
     @property
     def pr(self) -> float:
@@ -157,6 +160,10 @@ class SchemeEvaluator:
         self.predicted_evals = 0
         self.drift_params_pct_sum = 0.0
         self.drift_flops_pct_sum = 0.0
+        #: evaluations whose predicted weight_bits != executed effective bits
+        self.weight_bits_mismatches = 0
+        #: evaluations whose *measured* latency exceeded budget.max_latency_ms
+        self.latency_violations = 0
         self._cost_model: Optional[SchemeCostModel] = None
         self._cost_model_ready = False
         self._model_cache: "OrderedDict[str, ModelSnapshot]" = OrderedDict()
@@ -283,6 +290,19 @@ class SchemeEvaluator:
             if self.tracer.enabled:
                 self.tracer.metrics.counter("snapshot.misses").inc()
         return 0, None
+
+    def _measure_latency(self, model: Module) -> float:
+        """Median wall-clock ms per inference batch, or 0.0 when disabled."""
+        batch = self.config.latency_batch
+        if not batch:
+            return 0.0
+        from ..nn.bench import measure_latency
+
+        input_shape = getattr(self, "_input_shape", (3, 32, 32))
+        if self.tracer.enabled:
+            with self.tracer.span("latency.measure", batch=batch):
+                return measure_latency(model, input_shape, batch=batch, seed=self.seed)
+        return measure_latency(model, input_shape, batch=batch, seed=self.seed)
 
     def _longest_paid_prefix(self, scheme: CompressionScheme) -> int:
         """Longest proper prefix whose evaluation is already in ``results``."""
@@ -452,6 +472,16 @@ class SchemeEvaluator:
         flops_pct = 100.0 * abs(prediction.flops - result.flops) / max(result.flops, 1)
         self.drift_params_pct_sum += params_pct
         self.drift_flops_pct_sum += flops_pct
+        # Quantization drift: predicted weight width must match the bits the
+        # executed steps report (C7 HP17, C8 8/16) — by construction they
+        # share one source of truth, so any mismatch is a real bug.
+        executed_bits = 32.0
+        for report in result.step_reports:
+            bits = report.details.get("effective_bits")
+            if bits is not None:
+                executed_bits = float(bits)
+        if float(prediction.weight_bits) != executed_bits:
+            self.weight_bits_mismatches += 1
         if span is not None:
             span.set(
                 predicted_params=prediction.params,
@@ -467,6 +497,7 @@ class SchemeEvaluator:
             "predicted_evals": float(self.predicted_evals),
             "drift_params_pct": self.drift_params_pct_sum / count,
             "drift_flops_pct": self.drift_flops_pct_sum / count,
+            "weight_bits_mismatches": float(self.weight_bits_mismatches),
         }
 
     def _evaluate_recorded(self, scheme: CompressionScheme) -> EvaluationResult:
@@ -485,6 +516,24 @@ class SchemeEvaluator:
             result = self._evaluate(scheme)
             if self.budget is not None:
                 self._record_prediction(result)
+        budget = self.budget
+        if (
+            budget is not None
+            and budget.max_latency_ms is not None
+            and result.latency_ms > 0.0
+            and result.latency_ms > budget.max_latency_ms
+        ):
+            # The measured (not proxy) side of the S004 constraint: the scheme
+            # was already paid for, so it is counted and reported, not rejected.
+            self.latency_violations += 1
+            if tracer.enabled:
+                tracer.event(
+                    "latency_violation",
+                    scheme=scheme.identifier,
+                    latency_ms=round(result.latency_ms, 3),
+                    max_latency_ms=budget.max_latency_ms,
+                )
+                tracer.metrics.counter("latency_violations").inc()
         self.results[scheme.identifier] = result
         self.total_cost += result.cost
         self.evaluation_count += 1
@@ -615,6 +664,7 @@ class TrainingEvaluator(SchemeEvaluator):
             cost=self._charge(scheme, step_costs),
             step_reports=reports,
             step_costs=step_costs,
+            latency_ms=self._measure_latency(model),
         )
 
 
@@ -728,4 +778,5 @@ class SurrogateEvaluator(SchemeEvaluator):
             cost=self._charge(scheme, step_costs),
             step_reports=reports,
             step_costs=step_costs,
+            latency_ms=self._measure_latency(model),
         )

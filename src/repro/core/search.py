@@ -92,7 +92,10 @@ class SearchResult:
             head += " [" + ", ".join(extras) + "]"
         if best is None:
             return head + " — no scheme met the PR target"
-        return head + f" | best: {best}"
+        tail = head + f" | best: {best}"
+        if best.latency_ms > 0.0:
+            tail += f" @ {best.latency_ms:.2f} ms/batch"
+        return tail
 
 
 class SearchStrategy:

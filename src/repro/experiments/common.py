@@ -55,6 +55,10 @@ class ExperimentConfig:
     max_flops: Optional[int] = None       # S002: post-scheme FLOPs cap
     max_act_mem: Optional[int] = None     # S003: peak activation bytes cap
     max_latency_ms: Optional[float] = None  # S004: latency-proxy cap
+    max_weight_mem: Optional[int] = None  # S005: weight storage bytes cap
+    # Measured latency: batch size for the wall-clock inference timing
+    # attached to each result (None disables the extra column).
+    latency_batch: Optional[int] = None
 
     def budget(self) -> Optional[Budget]:
         """The static :class:`Budget`, or ``None`` when no cap is set."""
@@ -63,6 +67,7 @@ class ExperimentConfig:
             max_flops=self.max_flops,
             max_act_mem=self.max_act_mem,
             max_latency_ms=self.max_latency_ms,
+            max_weight_mem=self.max_weight_mem,
         )
         return None if budget.is_null else budget
 
@@ -96,7 +101,11 @@ TRANSFER_MODELS: Dict[str, List[str]] = {
 
 
 def make_evaluator(
-    model_name: str, dataset_name: str, task: CompressionTask, seed: int = 0
+    model_name: str,
+    dataset_name: str,
+    task: CompressionTask,
+    seed: int = 0,
+    latency_batch: Optional[int] = None,
 ) -> SurrogateEvaluator:
     """A fresh paper-scale evaluator for one (model, dataset) task."""
     return SurrogateEvaluator(
@@ -104,7 +113,7 @@ def make_evaluator(
         model_name,
         dataset_name,
         task,
-        config=EvaluatorConfig(seed=seed),
+        config=EvaluatorConfig(seed=seed, latency_batch=latency_batch),
     )
 
 
@@ -149,7 +158,10 @@ def run_algorithm(
     solver_name = config.solver or LEGACY_SOLVER_NAMES.get(name, name)
     get_solver(solver_name)  # fail fast on unknown names, before any setup
     model_name, dataset_name, task = EXPERIMENTS[exp_name]
-    evaluator = make_evaluator(model_name, dataset_name, task, seed=config.seed)
+    evaluator = make_evaluator(
+        model_name, dataset_name, task,
+        seed=config.seed, latency_batch=config.latency_batch,
+    )
     budget = config.budget()
     if budget is not None:
         evaluator.set_budget(budget)
@@ -196,11 +208,16 @@ def run_algorithm(
             result.engine_stats = {
                 "workers": evaluator.workers,
                 "cache_hits": evaluator.cache_hits,
+                "cache_foreign_hits": evaluator.cache_foreign_hits,
                 "fresh_evaluations": evaluator.fresh_evaluations,
                 "steps_replayed": evaluator.steps_replayed,
                 "snapshot_hits": evaluator.snapshot_hits,
                 "snapshot_steps_saved": evaluator.snapshot_steps_saved,
             }
+        if config.latency_batch is not None:
+            stats = result.engine_stats or {}
+            stats["latency_violations"] = evaluator.latency_violations
+            result.engine_stats = stats
         if budget is not None:
             stats = result.engine_stats or {}
             # Static-analysis accounting: candidates pruned at generation

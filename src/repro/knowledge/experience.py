@@ -147,6 +147,20 @@ def default_experience() -> List[ExperienceRecord]:
         _rec("C6", "imagenet-r18", 0.30, -2.2, HP2=0.28, HP15=0.5, HP16="CE"),
         _rec("C6", "c100-r56", 0.40, -3.9, HP2=0.36, HP15=1, HP16="MSE"),
         _rec("C6", "c10-r20", 0.60, -0.8, HP2=0.44, HP15=1.5, HP16="MSE"),
+        # --- C8 PTQ extension (Distiller-style post-training quantization):
+        # removes no parameters (pr = 0) but halves/quarters weight storage;
+        # int8 costs a few tenths of a point, fp16 is essentially free, and
+        # more calibration batches tighten int8 activation scales.
+        _rec("C8", "c10-r56", 0.0, -0.3, HP19="int8", HP20=4),
+        _rec("C8", "c10-r56", 0.0, -0.6, HP19="int8", HP20=1),
+        _rec("C8", "c10-r56", 0.0, -0.05, HP19="fp16"),
+        _rec("C8", "c10-r20", 0.0, -0.4, HP19="int8", HP20=2),
+        _rec("C8", "c10-vgg16", 0.0, -0.2, HP19="int8", HP20=2),
+        _rec("C8", "c100-vgg16", 0.0, -0.7, HP19="int8", HP20=4),
+        _rec("C8", "c100-r56", 0.0, -0.5, HP19="int8", HP20=2),
+        _rec("C8", "imagenet-r18", 0.0, -0.9, HP19="int8", HP20=4),
+        _rec("C8", "imagenet-r18", 0.0, -0.1, HP19="fp16"),
+        _rec("C8", "c10-r110", 0.0, -0.3, HP19="int8", HP20=4),
     ]
     # Fine-tune-epoch sensitivity: every method recovers with more epochs.
     for method in ("C1", "C2", "C3", "C5", "C6"):

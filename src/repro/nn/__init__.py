@@ -29,6 +29,14 @@ from .layers import (
 from .metrics import confusion_matrix, evaluate_metrics, per_class_accuracy, top_k_accuracy
 from .optim import SGD, Adam, CosineSchedule, Optimizer, StepSchedule
 from .profile import ModelProfile, count_flops, count_params, profile_model
+from .quant import (
+    QuantizedConv2d,
+    QuantizedLinear,
+    calibrate_module,
+    fold_batchnorm,
+    quantize_module,
+    quantized_bits,
+)
 from .serialization import load_model, load_state, save_model
 from .tensor import (
     Tensor,
@@ -59,6 +67,8 @@ __all__ = [
     "Module",
     "Optimizer",
     "Parameter",
+    "QuantizedConv2d",
+    "QuantizedLinear",
     "ReLU",
     "SGD",
     "Sequential",
@@ -66,11 +76,13 @@ __all__ = [
     "Tensor",
     "Trainer",
     "TrainReport",
+    "calibrate_module",
     "concat",
     "confusion_matrix",
     "count_flops",
     "count_params",
     "default_dtype",
+    "fold_batchnorm",
     "evaluate_accuracy",
     "evaluate_metrics",
     "get_default_dtype",
@@ -85,6 +97,8 @@ __all__ = [
     "load_state",
     "losses",
     "profile_model",
+    "quantize_module",
+    "quantized_bits",
     "save_model",
     "stack",
     "where",

@@ -33,6 +33,14 @@ PRE_FASTPATH_BASELINE: Dict[str, float] = {
     "inference_batch": 2.433395,
 }
 
+#: Quantized-inference workloads: float32 vs fp16 vs int8 on the same model
+#: and batch.  The baseline is the *same-run* float32 timing, so the speedup
+#: column is a self-contained A/B, robust to machine class.
+QUANT_WORKLOADS = {
+    "full": {"batch": 32, "depth": 56, "calibration_batches": 2},
+    "smoke": {"batch": 4, "depth": 8, "calibration_batches": 1},
+}
+
 #: Workload shapes. ``full`` matches the baseline measurement; ``smoke`` is
 #: a seconds-long variant for CI.
 WORKLOADS = {
@@ -65,6 +73,35 @@ def _median_time(fn: Callable[[], None], repeats: int, number: int) -> float:
         samples.append((time.perf_counter() - t0) / number)
     samples.sort()
     return samples[len(samples) // 2]
+
+
+def measure_latency(
+    model,
+    input_shape,
+    batch: int = 32,
+    repeats: int = 5,
+    seed: int = 0,
+) -> float:
+    """Median wall-clock milliseconds per grad-free inference batch.
+
+    The measured-latency column evaluators attach to results: one warm-up
+    forward (so lazily-built state — im2col plans, quantized weight layouts —
+    is paid once), then the median of ``repeats`` timed batches.  Restores
+    the model's train/eval mode on exit.
+    """
+    from .tensor import Tensor, no_grad
+
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.normal(size=(batch, *input_shape)).astype(np.float32))
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            model(x)
+            seconds = _median_time(lambda: model(x), repeats, 1)
+    finally:
+        model.train(was_training)
+    return seconds * 1000.0
 
 
 def run_kernel_benchmarks(
@@ -165,40 +202,178 @@ def run_kernel_benchmarks(
     return results
 
 
-def build_report(results: Dict[str, float], smoke: bool = False) -> Dict[str, object]:
-    """Assemble the BENCH_nn.json payload: baseline, current, speedups."""
-    speedup = {
-        name: PRE_FASTPATH_BASELINE[name] / seconds
+def run_quant_benchmarks(
+    smoke: bool = False, repeats: int = 5, seed: int = 0
+) -> Dict[str, float]:
+    """Time grad-free inference in float32 vs fp16 vs int8 on one ResNet.
+
+    All three runs share the model architecture, batch and input data; only
+    the execution precision differs (``repro.nn.quant.quantize_module``).
+    The int8 run is calibrated on random batches — calibration quality only
+    affects accuracy, never speed, so random data is fine for timing.
+    """
+    from ..models import ResNet
+    from .quant import quantize_module
+    from .tensor import Tensor, no_grad
+
+    sizes = QUANT_WORKLOADS["smoke" if smoke else "full"]
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(sizes["batch"], 3, 32, 32)).astype(np.float32)
+    calibration = [
+        rng.normal(size=(sizes["batch"], 3, 32, 32)).astype(np.float32)
+        for _ in range(sizes["calibration_batches"])
+    ]
+    models = {}
+    for mode in ("float32", "fp16", "int8"):
+        model = ResNet(sizes["depth"], num_classes=10)
+        if mode != "float32":
+            model = quantize_module(
+                model, mode=mode,
+                calibration=calibration if mode == "int8" else None,
+            )
+        model.eval()
+        with no_grad():
+            model(Tensor(x))  # warm-up: quantized layouts built lazily
+        models[mode] = model
+    # Interleaved sampling: each repeat times every mode back to back, so
+    # machine-wide drift (CPU frequency, background load) moves all modes
+    # together and cancels out of the speedup ratios.
+    samples: Dict[str, list] = {mode: [] for mode in models}
+    with no_grad():
+        for _ in range(repeats):
+            for mode, model in models.items():
+                t0 = time.perf_counter()
+                model(Tensor(x))
+                samples[mode].append(time.perf_counter() - t0)
+    results: Dict[str, float] = {}
+    for mode, times in samples.items():
+        times.sort()
+        results[f"inference_{mode}"] = times[len(times) // 2]
+    return results
+
+
+def load_baseline(path) -> Dict[str, float]:
+    """The ``current.results_s`` timings of a report written with --output.
+
+    Raises :class:`ValueError` with a readable reason when the file is
+    missing, not JSON, or does not carry that section (schema drift between
+    the committed report and the running code) — callers degrade to "no
+    baseline, recording fresh" instead of crashing after the timed run.
+    """
+    import json
+
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        raise ValueError("file does not exist")
+    except OSError as exc:
+        raise ValueError(f"cannot read file: {exc}")
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"not valid JSON: {exc}")
+    block = payload.get("current") if isinstance(payload, dict) else None
+    results = block.get("results_s") if isinstance(block, dict) else None
+    if not isinstance(results, dict):
+        raise ValueError("no current.results_s section (schema mismatch)")
+    timings = {
+        str(name): float(seconds)
         for name, seconds in results.items()
-        if name in PRE_FASTPATH_BASELINE and seconds > 0 and not smoke
+        if isinstance(seconds, (int, float)) and seconds > 0
+    }
+    if not timings:
+        raise ValueError("current.results_s holds no positive timings")
+    return timings
+
+
+def build_report(
+    results: Dict[str, float],
+    smoke: bool = False,
+    baseline: Optional[Dict[str, float]] = None,
+    description: Optional[str] = None,
+    suite: str = "repro.nn kernel microbenchmarks",
+) -> Dict[str, object]:
+    """Assemble a BENCH_*.json payload: baseline, current, speedups.
+
+    ``baseline=None`` keeps the committed pre-fast-path numbers (the kernel
+    suite's reference); pass a ``{workload: seconds}`` mapping (e.g. from
+    :func:`load_baseline`) to A/B against an earlier run, or ``{}`` for no
+    baseline at all — the speedup section is then empty.
+    """
+    if baseline is None:
+        baseline = PRE_FASTPATH_BASELINE
+        description = description or (
+            "pre fast-path kernels (fused BN/conv+relu, "
+            "grad-free inference, float32 default)"
+        )
+    speedup = {
+        name: baseline[name] / seconds
+        for name, seconds in results.items()
+        if name in baseline and seconds > 0 and not smoke
     }
     return {
-        "suite": "repro.nn kernel microbenchmarks",
+        "suite": suite,
         "sizes": "smoke" if smoke else "full",
         "baseline": {
-            "description": "pre fast-path kernels (fused BN/conv+relu, "
-                           "grad-free inference, float32 default)",
-            "results_s": PRE_FASTPATH_BASELINE,
+            "description": description or "",
+            "results_s": baseline,
         },
         "current": {"results_s": results},
         "speedup_vs_baseline": speedup,
     }
 
 
+def build_quant_report(
+    results: Dict[str, float], smoke: bool = False
+) -> Dict[str, object]:
+    """BENCH_quant.json payload: fp16/int8 inference vs same-run float32."""
+    base = results.get("inference_float32", 0.0)
+    baseline = {name: base for name in results} if base > 0 else {}
+    return build_report(
+        results,
+        smoke=smoke,
+        baseline=baseline,
+        description="float32 fused inference path (same model/batch, this run)",
+        suite="repro.nn quantized inference",
+    )
+
+
 def format_report(report: Dict[str, object]) -> str:
-    """Human-readable table of the BENCH_nn.json payload."""
-    baseline = report["baseline"]["results_s"]
-    current = report["current"]["results_s"]
-    speedup = report.get("speedup_vs_baseline", {})
+    """Human-readable table of a BENCH_*.json payload.
+
+    Tolerant of missing/mismatched baseline sections: an old or hand-edited
+    report renders with an empty baseline column and a "no baseline" note
+    rather than raising.
+    """
+    baseline_block = report.get("baseline")
+    baseline = (
+        baseline_block.get("results_s") if isinstance(baseline_block, dict) else None
+    )
+    if not isinstance(baseline, dict):
+        baseline = {}
+    current_block = report.get("current")
+    current = (
+        current_block.get("results_s") if isinstance(current_block, dict) else None
+    )
+    if not isinstance(current, dict):
+        current = {}
+    speedup = report.get("speedup_vs_baseline")
+    if not isinstance(speedup, dict):
+        speedup = {}
+    suite = report.get("suite", "repro.nn benchmarks")
+    sizes = report.get("sizes", "?")
     lines = [
-        f"repro.nn kernel benchmarks ({report['sizes']} sizes)",
+        f"{suite} ({sizes} sizes)",
         f"{'workload':<20} {'baseline (s)':>14} {'current (s)':>14} {'speedup':>9}",
     ]
+    if not baseline:
+        lines.insert(1, "no baseline available — recording fresh numbers")
     for name, seconds in current.items():
         base = baseline.get(name)
-        base_s = f"{base:.6f}" if base is not None else "-"
+        base_s = f"{base:.6f}" if isinstance(base, (int, float)) else "-"
         ratio = f"{speedup[name]:.2f}x" if name in speedup else "-"
         lines.append(f"{name:<20} {base_s:>14} {seconds:>14.6f} {ratio:>9}")
-    if report["sizes"] == "smoke":
+    if not current:
+        lines.append("(report carries no current timings)")
+    if sizes == "smoke":
         lines.append("(smoke sizes are CI-scaled; not comparable to the baseline column)")
     return "\n".join(lines)

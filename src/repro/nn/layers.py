@@ -102,7 +102,17 @@ class Module:
             p.zero_grad()
 
     def num_parameters(self) -> int:
-        return sum(p.size for p in self.parameters())
+        """Logical parameter count: own parameters plus children, recursively.
+
+        Recursive (rather than a flat sum over ``parameters()``) so leaves
+        with non-Parameter storage — e.g. quantized layers whose weights
+        live in int8 buffers — can override this to report their logical
+        element count and keep P(M) precision-independent.
+        """
+        total = sum(p.size for p in self._parameters.values())
+        for module in self._modules.values():
+            total += module.num_parameters()
+        return total
 
     # ------------------------------------------------------------------ #
     # State dict

@@ -1,0 +1,549 @@
+"""Int8/fp16 quantized inference for the ``repro.nn`` substrate.
+
+Real reduced-precision execution behind the C7/C8 quantization story: the
+search can *measure* a quantized scheme's latency instead of modelling it.
+
+Two modes, selected by :func:`quantize_module`:
+
+* ``"int8"`` — per-channel symmetric weight quantization (scale per output
+  channel, zero-point 0) plus per-tensor activation quantization (dynamic
+  per-batch absmax, or static scales frozen from calibration batches).
+  Inference runs on the int8 kernels below.
+* ``"fp16"`` — storage-only half precision: weights live in float16 buffers
+  (half the bytes) and are cast back to float32 for the existing fused
+  kernels.  No accuracy surprises, no speedup claim.
+
+The int8 conv kernel is an **NHWC tap-accumulation implicit GEMM**: the
+quantized activation is laid out channels-last, and for each of the
+``kh*kw`` kernel taps one strided slice is cast to float32 (a single fused
+copy+cast) and multiplied against that tap's ``(C, F)`` weight matrix with
+BLAS, accumulating in float32.  No im2col buffer is materialised — the cast
+slices are the only copies, which is what makes the kernel faster than the
+float path instead of merely smaller.
+
+Accumulating integer products in float32 BLAS is *exact* int32 arithmetic
+while every partial sum stays within float32's 2**24 integer window: each
+product is at most 127 * 127 = 16129, so sums are exact up to a fan-in of
+~1040 (int8 pairs), which covers every conv in the ResNet zoo
+(C*kh*kw <= 64*9 = 576).  Larger fan-ins (VGG's 512*9) can round the last
+couple of ulps per accumulation — orders of magnitude below the
+quantization error itself; the kernel tests bound it against an exact
+int32 reference.
+
+BatchNorm folding happens at quantize time (:func:`fold_batchnorm`): each
+``Conv2d -> BatchNorm2d`` pair adjacent in registration order is collapsed
+into the conv's weights/bias and the BN becomes :class:`Identity`, so the
+quantized graph runs one kernel where the float graph ran two.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple, Union
+
+import numpy as np
+
+from . import functional as F
+from .functional import _profile_sink
+from .layers import BatchNorm2d, Conv2d, Identity, Linear, Module, Parameter
+from .tensor import Tensor, _register_op, no_grad
+
+#: modes accepted by quantize_module
+QUANT_MODES = ("int8", "fp16")
+
+#: symmetric int8 range: [-127, 127] keeps the scale sign-symmetric
+QMAX = 127
+
+#: floor for scales so all-zero tensors quantize without dividing by zero
+_EPS = 1e-12
+
+
+# --------------------------------------------------------------------------- #
+# Weight quantization / dequantization
+# --------------------------------------------------------------------------- #
+def quantize_weight(
+    weight: np.ndarray, axis: int = 0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-channel symmetric int8 quantization of a weight array.
+
+    ``axis`` is the output-channel axis (0 for both ``(F, C, kh, kw)`` conv
+    weights and ``(out, in)`` linear weights).  Returns ``(qweight, scale)``
+    with ``qweight`` int8 and ``scale`` float32 of shape ``(F,)`` such that
+    ``qweight * scale[..., None] ~= weight``.  Zero-points are always 0.
+    """
+    w = np.asarray(weight, dtype=np.float32)
+    reduce_axes = tuple(i for i in range(w.ndim) if i != axis)
+    absmax = np.abs(w).max(axis=reduce_axes) if w.size else np.zeros(w.shape[axis])
+    scale = (np.maximum(absmax, _EPS) / QMAX).astype(np.float32)
+    shape = [1] * w.ndim
+    shape[axis] = -1
+    q = np.clip(np.rint(w / scale.reshape(shape)), -QMAX, QMAX).astype(np.int8)
+    return q, scale
+
+
+def dequantize_weight(
+    qweight: np.ndarray, scale: np.ndarray, axis: int = 0
+) -> np.ndarray:
+    """Inverse of :func:`quantize_weight` (up to rounding error)."""
+    shape = [1] * qweight.ndim
+    shape[axis] = -1
+    return qweight.astype(np.float32) * np.asarray(scale, dtype=np.float32).reshape(
+        shape
+    )
+
+
+def quantize_activation(
+    x: np.ndarray, scale: Optional[float] = None
+) -> Tuple[np.ndarray, float]:
+    """Per-tensor symmetric int8 quantization of an activation array.
+
+    With ``scale=None`` the scale is dynamic — computed from this batch's
+    absmax — which is the calibration-free default.
+    """
+    if scale is None:
+        absmax = float(np.max(np.abs(x))) if x.size else 0.0
+        scale = max(absmax, _EPS) / QMAX
+    q = np.clip(np.rint(x * (1.0 / scale)), -QMAX, QMAX).astype(np.int8)
+    return q, scale
+
+
+# --------------------------------------------------------------------------- #
+# Quantized kernels
+# --------------------------------------------------------------------------- #
+def _inference_only_backward(_grad: np.ndarray) -> None:
+    raise RuntimeError(
+        "quantized kernels are inference-only and have no backward pass; "
+        "quantize after training (post-training quantization)"
+    )
+
+
+def quant_conv2d(
+    x: Tensor,
+    qweight: np.ndarray,
+    weight_scale: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+    stride: int = 1,
+    padding: int = 0,
+    activation: Optional[str] = None,
+    x_scale: Optional[float] = None,
+    wtaps: Optional[np.ndarray] = None,
+) -> Tensor:
+    """Int8 2D convolution for NCHW input and int8 ``(F, C, kh, kw)`` weights.
+
+    The input is quantized per-tensor (``x_scale``, dynamic when ``None``),
+    laid out NHWC, and convolved by tap accumulation: per kernel tap one
+    strided slice -> float32 cast -> BLAS GEMM against the tap's ``(C, F)``
+    weight matrix, accumulated in float32 (exact int32 semantics — see the
+    module docstring).  The accumulator is then requantized with the fused
+    per-channel ``x_scale * weight_scale`` multiply, the bias added, and an
+    optional ReLU clamped in place.  ``wtaps`` accepts the precomputed
+    ``(kh, kw, C, F)`` float32 weight layout so persistent layers pay the
+    transpose once.
+    """
+    if activation not in (None, "relu"):
+        raise ValueError(
+            f"quant_conv2d activation must be None or 'relu', got {activation!r}"
+        )
+    f, c_w, kh, kw = qweight.shape
+    n, c, h, w = x.shape
+    if c != c_w:
+        raise ValueError(f"quant_conv2d channel mismatch: input {c} vs weight {c_w}")
+    ho = (h + 2 * padding - kh) // stride + 1
+    wo = (w + 2 * padding - kw) // stride + 1
+    sink = _profile_sink()
+    if sink is not None:
+        macs = n * ho * wo * f * c * kh * kw
+        sink("quant_conv2d", 2 * macs + (n * ho * wo * f if bias is not None else 0))
+
+    xq, x_scale = quantize_activation(x.data, x_scale)
+    if padding:
+        xq = np.pad(xq, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    xq = np.ascontiguousarray(xq.transpose(0, 2, 3, 1))  # NHWC int8
+    if wtaps is None:
+        wtaps = np.ascontiguousarray(
+            qweight.transpose(2, 3, 1, 0).astype(np.float32)
+        )  # (kh, kw, C, F)
+
+    rows = n * ho * wo
+    acc = np.zeros((rows, f), dtype=np.float32)
+    for i in range(kh):
+        for j in range(kw):
+            patch = xq[:, i : i + ho * stride : stride, j : j + wo * stride : stride, :]
+            # astype is the only copy: one fused contiguous cast per tap.
+            acc += patch.astype(np.float32).reshape(rows, c) @ wtaps[i, j]
+
+    acc *= (np.float32(x_scale) * np.asarray(weight_scale, dtype=np.float32))[None, :]
+    if bias is not None:
+        acc += np.asarray(bias, dtype=np.float32)[None, :]
+    if activation == "relu":
+        np.maximum(acc, 0.0, out=acc)
+    out = np.ascontiguousarray(acc.reshape(n, ho, wo, f).transpose(0, 3, 1, 2))
+    result = x._make(out, (x,), _inference_only_backward)
+    return _register_op(result, "quant_conv2d")
+
+
+def quant_linear(
+    x: Tensor,
+    qweight: np.ndarray,
+    weight_scale: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+    x_scale: Optional[float] = None,
+    wmat: Optional[np.ndarray] = None,
+) -> Tensor:
+    """Int8 affine map for ``(N, in)`` input and int8 ``(out, in)`` weight.
+
+    Same arithmetic scheme as :func:`quant_conv2d`: per-tensor input scale,
+    per-output-channel weight scales, float32-BLAS accumulation over integer
+    values, fused requantization.  ``wmat`` accepts the precomputed
+    ``(in, out)`` float32 weight transpose.
+    """
+    out_features, in_features = qweight.shape
+    sink = _profile_sink()
+    if sink is not None:
+        rows = int(np.prod(x.shape[:-1]))
+        macs = rows * out_features * in_features
+        sink("quant_linear", 2 * macs + (rows * out_features if bias is not None else 0))
+
+    xq, x_scale = quantize_activation(x.data, x_scale)
+    if wmat is None:
+        wmat = np.ascontiguousarray(qweight.T.astype(np.float32))  # (in, out)
+    acc = xq.astype(np.float32) @ wmat
+    acc *= (np.float32(x_scale) * np.asarray(weight_scale, dtype=np.float32))[None, :]
+    if bias is not None:
+        acc += np.asarray(bias, dtype=np.float32)[None, :]
+    result = x._make(acc, (x,), _inference_only_backward)
+    return _register_op(result, "quant_linear")
+
+
+# --------------------------------------------------------------------------- #
+# Quantized layers
+# --------------------------------------------------------------------------- #
+class QuantizedConv2d(Module):
+    """Inference-only Conv2d with int8 (or float16) weight storage.
+
+    All quantized state lives in *buffers* (never :class:`Parameter`, which
+    would force-cast back to the float default dtype): ``qweight`` int8 or
+    float16, ``weight_scale`` float32 per output channel (int8 mode),
+    ``qbias`` float32, and — once calibrated — a one-element ``x_scale``.
+    ``num_parameters()`` reports the *logical* element count (weight + bias)
+    so P(M) tracks model structure, not storage precision; the precision is
+    exposed as :attr:`effective_bits` and budgeted via ``weight_bits`` in
+    the static cost model.
+    """
+
+    def __init__(
+        self,
+        qweight: np.ndarray,
+        weight_scale: Optional[np.ndarray] = None,
+        bias: Optional[np.ndarray] = None,
+        stride: int = 1,
+        padding: int = 0,
+        mode: str = "int8",
+        x_scale: Optional[float] = None,
+    ):
+        super().__init__()
+        if mode not in QUANT_MODES:
+            raise ValueError(f"mode must be one of {QUANT_MODES}, got {mode!r}")
+        if mode == "int8" and weight_scale is None:
+            raise ValueError("int8 mode needs per-channel weight scales")
+        self.mode = mode
+        self.stride = stride
+        self.padding = padding
+        self.kernel_size = int(qweight.shape[2])
+        self.register_buffer("qweight", np.asarray(qweight))
+        if mode == "int8":
+            self.register_buffer(
+                "weight_scale", np.asarray(weight_scale, dtype=np.float32)
+            )
+        if bias is not None:
+            self.register_buffer("qbias", np.asarray(bias, dtype=np.float32))
+        else:
+            self.qbias = None
+        if x_scale is not None:
+            self.register_buffer("x_scale", np.asarray([x_scale], dtype=np.float32))
+        else:
+            self.x_scale = None
+        self._wtaps: Optional[np.ndarray] = None
+        self._observing = False
+        self.observed_absmax = 0.0
+        self.training = False
+
+    @classmethod
+    def from_float(cls, conv: Conv2d, mode: str = "int8") -> "QuantizedConv2d":
+        """Quantize a (BN-folded) float Conv2d into a frozen inference layer."""
+        bias = conv.bias.data if conv.bias is not None else None
+        if mode == "fp16":
+            return cls(
+                conv.weight.data.astype(np.float16),
+                bias=bias,
+                stride=conv.stride,
+                padding=conv.padding,
+                mode="fp16",
+            )
+        qweight, scale = quantize_weight(conv.weight.data)
+        return cls(
+            qweight, scale, bias=bias, stride=conv.stride, padding=conv.padding
+        )
+
+    @property
+    def in_channels(self) -> int:
+        return int(self.qweight.shape[1])
+
+    @property
+    def out_channels(self) -> int:
+        return int(self.qweight.shape[0])
+
+    @property
+    def effective_bits(self) -> int:
+        return 8 if self.mode == "int8" else 16
+
+    def num_parameters(self) -> int:
+        total = int(self.qweight.size)
+        if self.qbias is not None:
+            total += int(self.qbias.size)
+        return total
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self._observing:
+            absmax = float(np.max(np.abs(x.data))) if x.size else 0.0
+            self.observed_absmax = max(self.observed_absmax, absmax)
+        if self.mode == "fp16":
+            weight = Tensor(self.qweight.astype(np.float32))
+            bias = Tensor(self.qbias) if self.qbias is not None else None
+            return F.conv2d(x, weight, bias, self.stride, self.padding)
+        if self._wtaps is None:
+            self._wtaps = np.ascontiguousarray(
+                self.qweight.transpose(2, 3, 1, 0).astype(np.float32)
+            )
+        scale = float(self.x_scale[0]) if self.x_scale is not None else None
+        if self._observing:
+            scale = None  # calibration forwards stay dynamic
+        return quant_conv2d(
+            x,
+            self.qweight,
+            self.weight_scale,
+            self.qbias,
+            self.stride,
+            self.padding,
+            x_scale=scale,
+            wtaps=self._wtaps,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantizedConv2d({self.in_channels}, {self.out_channels}, "
+            f"kernel_size={self.kernel_size}, stride={self.stride}, "
+            f"mode={self.mode!r})"
+        )
+
+
+class QuantizedLinear(Module):
+    """Inference-only Linear with int8 (or float16) weight storage."""
+
+    def __init__(
+        self,
+        qweight: np.ndarray,
+        weight_scale: Optional[np.ndarray] = None,
+        bias: Optional[np.ndarray] = None,
+        mode: str = "int8",
+        x_scale: Optional[float] = None,
+    ):
+        super().__init__()
+        if mode not in QUANT_MODES:
+            raise ValueError(f"mode must be one of {QUANT_MODES}, got {mode!r}")
+        if mode == "int8" and weight_scale is None:
+            raise ValueError("int8 mode needs per-channel weight scales")
+        self.mode = mode
+        self.register_buffer("qweight", np.asarray(qweight))
+        if mode == "int8":
+            self.register_buffer(
+                "weight_scale", np.asarray(weight_scale, dtype=np.float32)
+            )
+        if bias is not None:
+            self.register_buffer("qbias", np.asarray(bias, dtype=np.float32))
+        else:
+            self.qbias = None
+        if x_scale is not None:
+            self.register_buffer("x_scale", np.asarray([x_scale], dtype=np.float32))
+        else:
+            self.x_scale = None
+        self._wmat: Optional[np.ndarray] = None
+        self._observing = False
+        self.observed_absmax = 0.0
+        self.training = False
+
+    @classmethod
+    def from_float(cls, layer: Linear, mode: str = "int8") -> "QuantizedLinear":
+        bias = layer.bias.data if layer.bias is not None else None
+        if mode == "fp16":
+            return cls(layer.weight.data.astype(np.float16), bias=bias, mode="fp16")
+        qweight, scale = quantize_weight(layer.weight.data)
+        return cls(qweight, scale, bias=bias)
+
+    @property
+    def in_features(self) -> int:
+        return int(self.qweight.shape[1])
+
+    @property
+    def out_features(self) -> int:
+        return int(self.qweight.shape[0])
+
+    @property
+    def effective_bits(self) -> int:
+        return 8 if self.mode == "int8" else 16
+
+    def num_parameters(self) -> int:
+        total = int(self.qweight.size)
+        if self.qbias is not None:
+            total += int(self.qbias.size)
+        return total
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self._observing:
+            absmax = float(np.max(np.abs(x.data))) if x.size else 0.0
+            self.observed_absmax = max(self.observed_absmax, absmax)
+        if self.mode == "fp16":
+            weight = Tensor(self.qweight.astype(np.float32))
+            bias = Tensor(self.qbias) if self.qbias is not None else None
+            return F.linear(x, weight, bias)
+        if self._wmat is None:
+            self._wmat = np.ascontiguousarray(self.qweight.T.astype(np.float32))
+        scale = float(self.x_scale[0]) if self.x_scale is not None else None
+        if self._observing:
+            scale = None
+        return quant_linear(
+            x, self.qweight, self.weight_scale, self.qbias,
+            x_scale=scale, wmat=self._wmat,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantizedLinear({self.in_features}, {self.out_features}, "
+            f"mode={self.mode!r})"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Module-level transforms
+# --------------------------------------------------------------------------- #
+def _fold_bn_into_conv(conv: Conv2d, bn: BatchNorm2d) -> None:
+    """Collapse an eval-mode BatchNorm into the conv that feeds it."""
+    inv_std = 1.0 / np.sqrt(bn.running_var + bn.eps)
+    scale = (bn.gamma.data * inv_std).astype(np.float32)
+    conv.weight.data = conv.weight.data * scale[:, None, None, None]
+    base = conv.bias.data if conv.bias is not None else 0.0
+    folded = (base - bn.running_mean) * scale + bn.beta.data
+    if conv.bias is None:
+        conv.bias = Parameter(folded)
+    else:
+        conv.bias.data = np.asarray(folded, dtype=conv.weight.data.dtype)
+
+
+def fold_batchnorm(model: Module) -> int:
+    """Fold every ``Conv2d -> BatchNorm2d`` pair adjacent in registration
+    order into the conv; each folded BN is replaced by :class:`Identity`.
+
+    Forward-safe because models apply BN as ``self.bn(self.conv(x))`` — the
+    Identity passes the (now already-normalised) conv output through.
+    Returns the number of BNs folded.
+    """
+    folded = 0
+    for module in list(model.modules()):
+        prev: Optional[Module] = None
+        for name, child in list(module._modules.items()):
+            if type(child) is BatchNorm2d and type(prev) is Conv2d:
+                _fold_bn_into_conv(prev, child)
+                module.add_module(name, Identity())
+                folded += 1
+                prev = None
+            else:
+                prev = child
+    return folded
+
+
+def calibrate_module(
+    model: Module, batches: Iterable[Union[np.ndarray, Tensor]]
+) -> int:
+    """Freeze static activation scales from observed calibration ranges.
+
+    Runs each batch through the model (grad-free, dynamic quantization) with
+    every int8 layer recording its input absmax, then installs per-layer
+    static ``x_scale`` buffers.  Returns the number of layers calibrated.
+    """
+    layers = [
+        m
+        for m in model.modules()
+        if isinstance(m, (QuantizedConv2d, QuantizedLinear)) and m.mode == "int8"
+    ]
+    for layer in layers:
+        layer._observing = True
+        layer.observed_absmax = 0.0
+    try:
+        with no_grad():
+            for batch in batches:
+                x = batch if isinstance(batch, Tensor) else Tensor(
+                    np.asarray(batch, dtype=np.float32)
+                )
+                model(x)
+    finally:
+        for layer in layers:
+            layer._observing = False
+            absmax = max(layer.observed_absmax, _EPS)
+            layer.register_buffer(
+                "x_scale", np.asarray([absmax / QMAX], dtype=np.float32)
+            )
+    return len(layers)
+
+
+def quantize_module(
+    model: Module,
+    mode: str = "int8",
+    calibration: Optional[Iterable[Union[np.ndarray, Tensor]]] = None,
+    fold_bn: bool = True,
+) -> Module:
+    """Post-training-quantize a model in place for reduced-precision inference.
+
+    ``mode="int8"`` folds BatchNorms, swaps every exact ``Conv2d``/``Linear``
+    for its quantized twin (per-channel symmetric weights), and — when
+    ``calibration`` batches are given — freezes static activation scales via
+    :func:`calibrate_module`; without calibration, activation scales stay
+    dynamic per batch.  ``mode="fp16"`` performs the same folding/swap but
+    stores weights as float16 and computes in float32 (storage-only).
+
+    The model is switched to eval mode and returned for chaining.  Layers
+    that are *subclasses* of Conv2d/Linear (factorized layers etc.) are left
+    untouched; their inner exact convs are still caught by the walk.
+    """
+    if mode not in QUANT_MODES:
+        raise ValueError(f"mode must be one of {QUANT_MODES}, got {mode!r}")
+    model.eval()
+    if fold_bn:
+        fold_batchnorm(model)
+    replaced = 0
+    for module in list(model.modules()):
+        for name, child in list(module._modules.items()):
+            if type(child) is Conv2d:
+                module.add_module(name, QuantizedConv2d.from_float(child, mode=mode))
+                replaced += 1
+            elif type(child) is Linear:
+                module.add_module(name, QuantizedLinear.from_float(child, mode=mode))
+                replaced += 1
+    if replaced == 0:
+        raise ValueError("quantize_module found no exact Conv2d/Linear to quantize")
+    if calibration is not None and mode == "int8":
+        calibrate_module(model, calibration)
+    return model
+
+
+def quantized_bits(model: Module) -> Optional[int]:
+    """The weight precision a quantized model executes at, or ``None``.
+
+    Returns 8/16 when the model contains quantized layers (the max across
+    layers if mixed), ``None`` for a pure float model — the executed-bits
+    figure the evaluator checks against the cost model's ``weight_bits``.
+    """
+    bits = [
+        m.effective_bits
+        for m in model.modules()
+        if isinstance(m, (QuantizedConv2d, QuantizedLinear))
+    ]
+    return max(bits) if bits else None

@@ -13,10 +13,12 @@ split exactly along the determinism boundary:
   charged costs are therefore bit-identical to the same search run alone
   in its own process (see ``tests/test_serve.py``).
 * **shared across jobs** — worker lanes (warm model LRUs, keyed per config
-  token) and the disk snapshot store.  Both only change *wall-clock*:
-  resuming a snapshot is bit-identical to replaying, so tenants dedup each
-  other's prefix work for free.  Cross-job reuse is observable as
-  ``snapshot_foreign_hits`` in each job's result.
+  token), the disk snapshot store, and the persistent result cache.  All
+  three only change *wall-clock*: resuming a snapshot is bit-identical to
+  replaying and a cached result is the exact JSON round-trip of the
+  original, so tenants dedup each other's work for free.  Cross-job reuse
+  is observable as ``snapshot_foreign_hits`` and ``cache_foreign_hits`` in
+  each job's result.
 
 Jobs run on daemon threads, capped by a semaphore (``max_jobs``); each
 round's progress is journalled through the crash-safe
@@ -40,6 +42,7 @@ from .jobs import JobRecord, JobSpec, JobTable
 #: subdirectories of the scheduler state dir
 SNAPSHOT_SUBDIR = "snapshots"
 JOURNAL_SUBDIR = "journals"
+CACHE_SUBDIR = "cache"
 
 
 class JobScheduler:
@@ -79,6 +82,9 @@ class JobScheduler:
             self._owns_pool = False
         self.snapshot_dir = self.state_dir / SNAPSHOT_SUBDIR
         self.snapshot_budget_mb = snapshot_budget_mb
+        # one result-cache tree for every job: same-config jobs (and later
+        # daemon runs) adopt each other's paid evaluations at zero cost
+        self.cache_dir = self.state_dir / CACHE_SUBDIR
         self.job_journals = job_journals
         self._slots = threading.Semaphore(max(1, max_jobs))
         self._threads: Dict[str, threading.Thread] = {}
@@ -116,9 +122,12 @@ class JobScheduler:
         states: Dict[str, int] = {}
         for record in self.table.list():
             states[record.state] = states.get(record.state, 0) + 1
+        from ..core.engine import cache_stats
+
         return {
             "jobs": states,
             "lane_pool": self.lane_pool.stats() if self.lane_pool else None,
+            "result_cache": cache_stats(self.cache_dir),
         }
 
     def close(self, wait_jobs: bool = False) -> None:
@@ -167,7 +176,9 @@ class JobScheduler:
             snapshot_budget_mb=self.snapshot_budget_mb,
         )
         evaluator = config.build()
-        engine = EvaluationEngine(evaluator, lane_pool=self.lane_pool)
+        engine = EvaluationEngine(
+            evaluator, lane_pool=self.lane_pool, cache_dir=str(self.cache_dir)
+        )
 
         tracer = None
         if self.job_journals:
@@ -260,6 +271,7 @@ def _front_payload(results) -> List[Dict[str, object]]:
             "flops": r.flops,
             "accuracy": r.accuracy,
             "cost": r.cost,
+            "latency_ms": r.latency_ms,
         }
         for r in results
     ]
@@ -289,4 +301,6 @@ def _result_payload(result: SearchResult, engine: EvaluationEngine) -> Dict[str,
         "snapshot_foreign_hits": engine.snapshot_foreign_hits,
         "steps_replayed": engine.steps_replayed,
         "snapshot_steps_saved": engine.snapshot_steps_saved,
+        "cache_hits": engine.cache_hits,
+        "cache_foreign_hits": engine.cache_foreign_hits,
     }

@@ -174,6 +174,11 @@ class AccuracyModel:
 
         if method_label == "C7":  # quantization extension: no param change
             damage = 0.3 * self.hp_modifier(method_label, hp)
+        elif method_label == "C8":  # real PTQ: int8 hurts slightly, fp16 barely
+            base = 0.25 if str(hp.get("HP19", "int8")) == "int8" else 0.02
+            # More calibration batches tighten activation scales a little.
+            batches = float(hp.get("HP20", 2))
+            damage = base * (1.0 + 0.1 * max(0.0, 2.0 - batches))
         else:
             curve = self.curve(method_label)
             damage = curve.damage(pr_after) - curve.damage(pr_before)

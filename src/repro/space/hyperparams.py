@@ -35,6 +35,9 @@ HP_GRID: Dict[str, List[object]] = {
     # Extension (C7 INQ quantization, not part of the paper's space):
     "HP17": [3, 5, 7],                                # quantization bits
     "HP18": [0.3, 0.5, 0.7],                          # portion per INQ iteration
+    # Extension (C8 post-training quantization, real int8/fp16 execution):
+    "HP19": ["int8", "fp16"],                         # PTQ mode
+    "HP20": [1, 2, 4],                                # calibration batches
 }
 
 #: hyperparameters used by each method (order fixes strategy enumeration)
@@ -46,6 +49,7 @@ METHOD_HPS: Dict[str, Tuple[str, ...]] = {
     "C5": ("HP1", "HP2", "HP11", "HP12", "HP13", "HP14"),
     "C6": ("HP1", "HP2", "HP15", "HP16"),
     "C7": ("HP1", "HP17", "HP18"),
+    "C8": ("HP19", "HP20"),
 }
 
 #: human-readable descriptions used as knowledge-graph attributes
@@ -67,6 +71,8 @@ HP_DESCRIPTIONS: Dict[str, str] = {
     "HP16": "auxiliary loss",
     "HP17": "quantization bits",
     "HP18": "quantization portion per iteration",
+    "HP19": "post-training quantization mode",
+    "HP20": "activation calibration batches",
 }
 
 

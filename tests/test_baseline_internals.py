@@ -66,7 +66,12 @@ class TestEvolutionOperators:
 class TestControllerRNN:
     def test_heads_cover_all_hyperparameters(self):
         controller = ControllerRNN(["C1", "C2", "C3", "C4", "C5", "C6"])
-        needed = {hp for label in METHOD_HPS if label != "C7" for hp in METHOD_HPS[label]}
+        needed = {
+            hp
+            for label in METHOD_HPS
+            if label not in ("C7", "C8")
+            for hp in METHOD_HPS[label]
+        }
         assert set(controller.hp_heads) == needed
         for hp, head in controller.hp_heads.items():
             assert head.out_features == len(HP_GRID[hp])

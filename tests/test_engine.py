@@ -141,6 +141,34 @@ class TestPersistentCache:
             assert a.flops == b.flops
             assert a.step_costs == b.step_costs
 
+    def test_foreign_hits_distinguish_other_writers(self, tmp_path, schemes):
+        writer = EvaluationEngine(make_surrogate(), workers=0, cache_dir=tmp_path)
+        writer.evaluate_many(schemes[:2])
+        assert writer.cache_foreign_hits == 0
+
+        # every hit in a fresh engine was written by someone else
+        reader = EvaluationEngine(make_surrogate(), workers=0, cache_dir=tmp_path)
+        reader.evaluate_many(schemes[:2])
+        unique = len({s.identifier for s in schemes[:2]})
+        assert reader.cache_hits == unique
+        assert reader.cache_foreign_hits == unique
+
+    def test_latency_column_round_trips_through_cache(self, tmp_path, schemes):
+        def make():
+            return SurrogateEvaluator(
+                lambda: resnet20(num_classes=10), "resnet20", "cifar10", TASK,
+                config=EvaluatorConfig(seed=0, latency_batch=2),
+            )
+
+        first = EvaluationEngine(make(), workers=0, cache_dir=tmp_path)
+        [r1] = first.evaluate_many(schemes[:1])
+        assert r1.latency_ms > 0.0
+        # a hit replays the recorded wall-clock instead of re-measuring
+        second = EvaluationEngine(make(), workers=0, cache_dir=tmp_path)
+        [r2] = second.evaluate_many(schemes[:1])
+        assert second.cache_hits == 1
+        assert r2.latency_ms == r1.latency_ms
+
     def test_fingerprint_mismatch_misses(self, tmp_path, schemes):
         EvaluationEngine(make_surrogate(seed=0), workers=0, cache_dir=tmp_path).evaluate_many(
             schemes[:1]

@@ -1,0 +1,174 @@
+"""Property-based tests for the int8/fp16 quantization substrate.
+
+Two families of invariants, hypothesis-drawn over shapes and data:
+
+* *round-trip bounds* — symmetric absmax quantization never clips, so the
+  quantize -> dequantize error of every element is bounded by half a
+  quantization step (``scale / 2``), per channel for weights and per tensor
+  for activations;
+* *kernel exactness* — ``quant_conv2d`` / ``quant_linear`` must agree with
+  an exact int64 integer reference on the same quantized operands for every
+  shape, including 1x1 kernels, strides and padding.  The fast path
+  accumulates int8 products in float32 BLAS, which is exact at these
+  fan-ins, so the tolerance is float32 round-off only.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor
+from repro.nn.quant import (
+    dequantize_weight,
+    quant_conv2d,
+    quant_linear,
+    quantize_activation,
+    quantize_weight,
+)
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def _normal(seed, shape, spread=1.0):
+    rng = np.random.default_rng(seed)
+    return (rng.normal(size=shape) * spread).astype(np.float32)
+
+
+# --------------------------------------------------------------------------- #
+# Round-trip bounds
+# --------------------------------------------------------------------------- #
+class TestRoundTripBounds:
+    @given(
+        seed=seeds,
+        f=st.integers(1, 6),
+        c=st.integers(1, 5),
+        k=st.sampled_from([1, 3, 5]),
+        spread=st.sampled_from([1e-3, 1.0, 100.0]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_weight_round_trip_error_within_half_step(self, seed, f, c, k, spread):
+        w = _normal(seed, (f, c, k, k), spread)
+        qw, scale = quantize_weight(w)
+        assert qw.dtype == np.int8 and scale.shape == (f,)
+        back = dequantize_weight(qw, scale)
+        # symmetric absmax scaling never clips, so error <= scale/2 per channel
+        err = np.abs(back - w).max(axis=(1, 2, 3))
+        assert np.all(err <= scale / 2 + 1e-7 * spread)
+
+    @given(seed=seeds, out=st.integers(1, 8), inp=st.integers(1, 16))
+    @settings(max_examples=40, deadline=None)
+    def test_linear_weight_round_trip(self, seed, out, inp):
+        w = _normal(seed, (out, inp))
+        qw, scale = quantize_weight(w)
+        err = np.abs(dequantize_weight(qw, scale) - w).max(axis=1)
+        assert np.all(err <= scale / 2 + 1e-7)
+
+    @given(
+        seed=seeds,
+        shape=st.sampled_from([(3,), (2, 7), (1, 3, 5, 5), (4, 2, 1, 1)]),
+        spread=st.sampled_from([1e-3, 1.0, 50.0]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_activation_round_trip_error_within_half_step(self, seed, shape, spread):
+        x = _normal(seed, shape, spread)
+        xq, scale = quantize_activation(x)
+        assert xq.dtype == np.int8 and scale > 0
+        assert np.abs(xq.astype(np.float32) * scale - x).max() <= scale / 2 + 1e-7 * spread
+
+    def test_all_zero_tensors_quantize_cleanly(self):
+        qw, w_scale = quantize_weight(np.zeros((2, 3, 3, 3), dtype=np.float32))
+        xq, x_scale = quantize_activation(np.zeros((2, 8), dtype=np.float32))
+        assert not qw.any() and not xq.any()
+        assert np.all(w_scale > 0) and x_scale > 0
+
+
+# --------------------------------------------------------------------------- #
+# Kernel exactness vs the int64 integer reference
+# --------------------------------------------------------------------------- #
+def _conv2d_int64_reference(xq, qweight, stride, padding):
+    n, c, h, w = xq.shape
+    f, _, kh, kw = qweight.shape
+    if padding:
+        xq = np.pad(xq, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    ho = (h + 2 * padding - kh) // stride + 1
+    wo = (w + 2 * padding - kw) // stride + 1
+    out = np.zeros((n, f, ho, wo), dtype=np.int64)
+    xi, wi = xq.astype(np.int64), qweight.astype(np.int64)
+    for i in range(ho):
+        for j in range(wo):
+            patch = xi[:, :, i * stride : i * stride + kh, j * stride : j * stride + kw]
+            out[:, :, i, j] = np.einsum("ncij,fcij->nf", patch, wi)
+    return out
+
+
+class TestKernelExactness:
+    @given(
+        seed=seeds,
+        n=st.integers(1, 3),
+        c=st.integers(1, 5),
+        f=st.integers(1, 6),
+        k=st.sampled_from([1, 3]),
+        stride=st.integers(1, 2),
+        padding=st.integers(0, 1),
+        extra=st.integers(0, 4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_quant_conv2d_matches_integer_reference(
+        self, seed, n, c, f, k, stride, padding, extra
+    ):
+        h = k + extra  # guarantees at least one valid output position
+        x = _normal(seed, (n, c, h, h))
+        w = _normal(seed + 1, (f, c, k, k))
+        qw, w_scale = quantize_weight(w)
+        xq, x_scale = quantize_activation(x)
+        got = quant_conv2d(
+            Tensor(x), qw, w_scale, stride=stride, padding=padding, x_scale=x_scale
+        ).data
+        ref = _conv2d_int64_reference(xq, qw, stride, padding)
+        expected = ref.astype(np.float64) * (x_scale * w_scale)[None, :, None, None]
+        np.testing.assert_allclose(got, expected, rtol=1e-6, atol=1e-6)
+
+    @given(
+        seed=seeds,
+        n=st.integers(1, 6),
+        inp=st.integers(1, 32),
+        out=st.integers(1, 9),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_quant_linear_matches_integer_reference(self, seed, n, inp, out):
+        x = _normal(seed, (n, inp))
+        w = _normal(seed + 1, (out, inp))
+        qw, w_scale = quantize_weight(w)
+        xq, x_scale = quantize_activation(x)
+        got = quant_linear(Tensor(x), qw, w_scale, x_scale=x_scale).data
+        ref = xq.astype(np.int64) @ qw.astype(np.int64).T
+        expected = ref.astype(np.float64) * (x_scale * w_scale)[None, :]
+        np.testing.assert_allclose(got, expected, rtol=1e-6, atol=1e-6)
+
+    @given(seed=seeds, stride=st.integers(1, 2))
+    @settings(max_examples=15, deadline=None)
+    def test_one_by_one_kernels_with_bias_and_relu(self, seed, stride):
+        """1x1 convs are the pointwise fast case — bias/ReLU fusion included."""
+        x = _normal(seed, (2, 4, 5, 5))
+        w = _normal(seed + 1, (3, 4, 1, 1))
+        b = _normal(seed + 2, (3,))
+        qw, w_scale = quantize_weight(w)
+        xq, x_scale = quantize_activation(x)
+        got = quant_conv2d(
+            Tensor(x), qw, w_scale, bias=b, stride=stride,
+            x_scale=x_scale, activation="relu",
+        ).data
+        ref = _conv2d_int64_reference(xq, qw, stride, 0).astype(np.float64)
+        expected = np.maximum(
+            ref * (x_scale * w_scale)[None, :, None, None] + b[None, :, None, None],
+            0.0,
+        )
+        np.testing.assert_allclose(got, expected, rtol=1e-6, atol=1e-6)
+
+    def test_backward_through_quant_kernels_is_refused(self):
+        x = Tensor(np.ones((1, 4), dtype=np.float32), requires_grad=True)
+        qw, w_scale = quantize_weight(np.ones((2, 4), dtype=np.float32))
+        out = quant_linear(x, qw, w_scale)
+        with pytest.raises(RuntimeError, match="inference-only"):
+            out.sum().backward()

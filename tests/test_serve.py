@@ -6,8 +6,10 @@ The suite proves the multi-tenant claims of the serving PR:
   cancelling a long job *after* a short one submitted later has already
   completed: the cancellation could only land on a still-running job);
 * **cross-job dedup** — a second tenant re-searching an overlapping scheme
-  space reads the first tenant's prefix snapshots from the shared store,
-  observable as ``snapshot_foreign_hits > 0`` in its result payload;
+  space reuses the first tenant's work from the shared tiers: finished
+  evaluations from the shared result cache (``cache_foreign_hits > 0``),
+  prefix replays from the snapshot store (``snapshot_foreign_hits``) for
+  anything not yet cached;
 * **bit-identity** — a served job's result (total cost, evaluation count,
   rounds, Pareto front) equals a solo in-process ``AutoMC.search()`` with
   the same spec, for every solver exercised — sharing changes wall-clock
@@ -24,6 +26,7 @@ The suite proves the multi-tenant claims of the serving PR:
 
 import json
 import os
+import shutil
 import signal
 import socket
 import subprocess
@@ -99,8 +102,14 @@ def make_spec(solver="random", tenant="alice", seed=3, budget_hours=0.8, **over)
     return JobSpec(**fields)
 
 
-def reference_search(spec):
-    """The same search run solo and in-process — the bit-identity oracle."""
+def reference_search(spec, cache_dir=None):
+    """The same search run solo and in-process — the bit-identity oracle.
+
+    ``cache_dir`` reproduces a warm-start: a served job that reuses another
+    job's cached results must equal a solo run against the same cache state
+    (pass a *copy* of the daemon's cache tree so the oracle run does not
+    write into it).
+    """
     automc = AutoMC(
         spec.build_config().build(),
         space=spec.build_space(),
@@ -110,6 +119,7 @@ def reference_search(spec):
         max_length=spec.max_length,
         seed=spec.seed,
         solver_kwargs=dict(spec.solver_kwargs),
+        cache_dir=cache_dir,
     )
     return automc.search()
 
@@ -381,35 +391,46 @@ class TestServeEndToEnd:
     def test_two_tenants_dedup_snapshots_and_stay_bit_identical(
         self, tmp_path, solver
     ):
-        """The PR's core acceptance: tenants share prefix replays, not state.
+        """The PR's core acceptance: tenants share finished work, not state.
 
-        Tenant alice runs first against an empty snapshot store; tenant bob
-        then re-searches the same space through the same daemon and must
-        (a) read alice's prefix snapshots (``snapshot_foreign_hits > 0``)
-        and (b) still produce the *exact* result a solo ``AutoMC.search()``
-        produces — the shared tier affects wall-clock only.
+        Tenant alice runs first against empty shared tiers; tenant bob then
+        re-searches the same space through the same daemon and must
+        (a) reuse alice's finished evaluations straight from the shared
+        result cache (``cache_foreign_hits > 0`` — the cache sits above the
+        snapshot store, so identical schemes never even replay) and
+        (b) still produce the *exact* result a solo ``AutoMC.search()``
+        produces against the same cache state — cached hits pay no
+        simulated GPU-hours, so bob's search legitimately stretches its
+        budget further than a cold run; the oracle for bob is therefore a
+        solo run warm-started from a *copy* of alice's cache tree.
         """
         spec = make_spec(solver=solver, tenant="alice", seed=3)
-        ref = reference_search(spec)
+        ref_cold = reference_search(spec)
         with ServeDaemon(tmp_path, workers=0, max_jobs=2):
             client = ServeClient(state_dir=tmp_path)
             job_a = client.submit(spec)
             final_a = client.wait(job_a["job_id"])
             assert final_a["state"] == "completed"
             assert final_a["result"]["snapshot_foreign_hits"] == 0
+            assert final_a["result"]["cache_foreign_hits"] == 0
+            assert_matches_reference(final_a["result"], ref_cold)
+
+            # the warm oracle: same search, solo, against a snapshot of the
+            # shared cache exactly as bob will find it
+            oracle_cache = tmp_path / "oracle-cache"
+            shutil.copytree(tmp_path / "cache", oracle_cache)
+            ref_warm = reference_search(spec, cache_dir=str(oracle_cache))
 
             job_b = client.submit(make_spec(solver=solver, tenant="bob", seed=3))
             final_b = client.wait(job_b["job_id"])
             assert final_b["state"] == "completed"
-            # bob replayed alice's prefixes straight from the shared store
-            assert final_b["result"]["snapshot_foreign_hits"] > 0
+            # bob's evaluations come straight from alice's cached results
+            assert final_b["result"]["cache_foreign_hits"] > 0
             assert (
-                final_b["result"]["snapshot_hits"]
-                >= final_b["result"]["snapshot_foreign_hits"]
+                final_b["result"]["cache_hits"]
+                >= final_b["result"]["cache_foreign_hits"]
             )
-
-            assert_matches_reference(final_a["result"], ref)
-            assert_matches_reference(final_b["result"], ref)
+            assert_matches_reference(final_b["result"], ref_warm)
 
     def test_concurrent_jobs_overlap_and_short_job_dedups_long_one(self, tmp_path):
         """Two jobs live at once; cancellation proves the overlap.
@@ -430,9 +451,13 @@ class TestServeEndToEnd:
             sprint = client.submit(make_spec(tenant="sprint", seed=7))
             final_sprint = client.wait(sprint["job_id"])
             assert final_sprint["state"] == "completed"
-            # the marathon had written round-1 snapshots before the sprint
-            # started: cross-job dedup works between *live* jobs too
-            assert final_sprint["result"]["snapshot_foreign_hits"] > 0
+            # the marathon had written round-1 results/snapshots before the
+            # sprint started: cross-job dedup works between *live* jobs too
+            # (cached full evaluations first, prefix replays for the rest)
+            assert (
+                final_sprint["result"]["cache_foreign_hits"]
+                + final_sprint["result"]["snapshot_foreign_hits"]
+            ) > 0
 
             client.cancel(marathon["job_id"])
             final_marathon = client.wait(marathon["job_id"])
@@ -517,9 +542,12 @@ class TestServeEndToEnd:
             assert fresh["job_id"] != job["job_id"]
             final = survivor.wait(fresh["job_id"])
             assert final["state"] == "completed"
-            # the fresh job resumes the victim's snapshots: the resubmit-
-            # to-resume story interrupted jobs rely on
-            assert final["result"]["snapshot_foreign_hits"] > 0
+            # the fresh job resumes the victim's cached results/snapshots:
+            # the resubmit-to-resume story interrupted jobs rely on
+            assert (
+                final["result"]["cache_foreign_hits"]
+                + final["result"]["snapshot_foreign_hits"]
+            ) > 0
 
 
 # --------------------------------------------------------------------------- #

@@ -29,7 +29,7 @@ class TestGrids:
 
     def test_every_method_has_hp2_except_extension(self):
         for label, hps in METHOD_HPS.items():
-            if label == "C7":
+            if label in ("C7", "C8"):
                 assert "HP2" not in hps
             else:
                 assert "HP2" in hps
@@ -74,7 +74,7 @@ class TestStrategy:
 
     def test_quantization_extension_opt_in(self):
         extended = StrategySpace(include_quantization=True)
-        assert len(extended) == 4230 + grid_size("C7")
+        assert len(extended) == 4230 + grid_size("C7") + grid_size("C8")
 
     def test_neighbor_moves_one_hp(self, space, rng):
         s = space.of_method("C1")[37]
