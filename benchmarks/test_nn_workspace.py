@@ -1,0 +1,302 @@
+"""Perf-regression suite for the kernel-plan/workspace layer.
+
+Three layers of protection:
+
+* *bit-identity*: planned execution (shape-specialized plans + workspace
+  arena) must equal the un-planned reference kernels bit for bit — outputs
+  and every gradient, cold cache and warm;
+* *allocation pressure*: the whole point of the arena is that the steady
+  state stops paying the allocator, so the suite counts numpy allocator
+  calls on both paths and asserts the planned path's count drops;
+* *performance*: the end-to-end workloads re-run against the committed
+  pre-plan baseline (``PRE_PLANS_BASELINE``) and must hold the PR's
+  headline >= 1.3x train-step / >= 1.5x inference-batch speedups.
+
+Serial-vs-parallel engine bit-identity is asserted here too: workspaces are
+thread-local and plans are shared behind a lock, and the cheapest way to
+prove that combination sound end to end is to run the same evaluations on
+both engine configurations.
+
+``REPRO_BENCH_SMOKE=1`` (the CI setting) shrinks the benchmark shapes and
+skips the perf gates — smoke-sized timings are dominated by Python
+dispatch, not kernels.  ``benchmarks/out/BENCH_workspace.json`` is written
+either way so CI can upload it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, no_grad
+from repro.nn import functional as F
+from repro.nn.bench import (
+    PRE_PLANS_BASELINE,
+    build_workspace_report,
+    run_workspace_benchmarks,
+)
+from repro.nn.workspace import (
+    clear_plans,
+    no_plans,
+    plan_cache_stats,
+    workspace_stats,
+)
+
+from .conftest import OUT_DIR
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+
+#: (n, c, h, w, f, k, stride, padding) — one case per plan code path:
+#: stride-1 padded (tap scatter), strided padded, pointwise view,
+#: non-overlapping fast scatter.
+CONV_CASES = [
+    (2, 3, 8, 8, 4, 3, 1, 1),
+    (2, 8, 9, 9, 5, 3, 2, 1),
+    (1, 4, 7, 7, 6, 1, 1, 0),
+    (2, 5, 8, 8, 3, 2, 2, 0),
+]
+
+
+def _conv_forward_backward(data, stride, padding):
+    """out/dx/dw/db for one fused conv2d+relu forward+backward."""
+    xd, wd, bd = data
+    x = Tensor(xd.copy(), requires_grad=True)
+    w = Tensor(wd.copy(), requires_grad=True)
+    b = Tensor(bd.copy(), requires_grad=True)
+    out = F.conv2d(x, w, b, stride=stride, padding=padding, activation="relu")
+    out.backward(np.ones(out.shape, dtype=np.float32))
+    return out.data.copy(), x.grad.copy(), w.grad.copy(), b.grad.copy()
+
+
+# --------------------------------------------------------------------------- #
+# Planned execution is bit-identical to the reference
+# --------------------------------------------------------------------------- #
+class TestPlannedBitIdentity:
+    @pytest.mark.parametrize("case", CONV_CASES)
+    def test_conv2d_cold_and_warm(self, rng, case):
+        n, c, h, w, f, k, stride, padding = case
+        data = (
+            rng.normal(size=(n, c, h, w)).astype(np.float32),
+            rng.normal(size=(f, c, k, k)).astype(np.float32),
+            rng.normal(size=(f,)).astype(np.float32),
+        )
+        clear_plans()
+        cold = _conv_forward_backward(data, stride, padding)
+        warm = _conv_forward_backward(data, stride, padding)
+        with no_plans():
+            reference = _conv_forward_backward(data, stride, padding)
+        for name, a, b, r in zip(("out", "dx", "dw", "db"), cold, warm, reference):
+            np.testing.assert_array_equal(a, r, err_msg=f"{name} (cold cache)")
+            np.testing.assert_array_equal(b, r, err_msg=f"{name} (warm cache)")
+
+    def test_resnet_forward_backward(self, rng):
+        """Whole-model identity: logits and every parameter gradient."""
+        from repro.models import resnet8
+
+        model = resnet8(num_classes=4).eval()
+        x = rng.normal(size=(2, 3, 8, 8))
+        clear_plans()
+
+        def run():
+            for p in model.parameters():
+                p.zero_grad()
+            logits = model(Tensor(x))
+            logits.sum().backward()
+            return logits.data.copy(), [
+                None if p.grad is None else p.grad.copy()
+                for p in model.parameters()
+            ]
+
+        planned_logits, planned_grads = run()
+        with no_plans():
+            ref_logits, ref_grads = run()
+        np.testing.assert_array_equal(planned_logits, ref_logits)
+        for i, (a, b) in enumerate(zip(planned_grads, ref_grads)):
+            assert (a is None) == (b is None)
+            if a is not None:
+                np.testing.assert_array_equal(a, b, err_msg=f"param {i} grad")
+
+    def test_inference_matches_grad_mode(self, rng):
+        from repro.models import resnet8
+
+        model = resnet8(num_classes=4).eval()
+        x = rng.normal(size=(2, 3, 8, 8))
+        clear_plans()
+        with_tape = model(Tensor(x)).data
+        with no_grad():
+            without_tape = model(Tensor(x)).data
+        np.testing.assert_array_equal(with_tape, without_tape)
+
+
+# --------------------------------------------------------------------------- #
+# Serial == parallel through the evaluation engine
+# --------------------------------------------------------------------------- #
+class TestSerialParallelBitIdentity:
+    def test_training_evaluator(self):
+        """Thread-local workspaces + shared plans survive worker threads."""
+        from repro.core import EvaluationEngine, EvaluatorConfig, TrainingEvaluator
+        from repro.data.datasets import tiny_dataset
+        from repro.space import CompressionScheme, StrategySpace
+
+        train = tiny_dataset(num_classes=4, num_samples=64, image_size=8, seed=1)
+        val = tiny_dataset(num_classes=4, num_samples=32, image_size=8, seed=2)
+        c3 = StrategySpace().of_method("C3")
+        batch = [
+            CompressionScheme((c3[4],)),
+            CompressionScheme((c3[4], c3[8])),
+        ]
+
+        def make():
+            return TrainingEvaluator(
+                "resnet8", train, val,
+                config=EvaluatorConfig(pretrain_epochs=1.0, seed=5),
+            )
+
+        serial = EvaluationEngine(make(), workers=0)
+        with EvaluationEngine(make(), workers=2) as parallel:
+            for a, b in zip(serial.evaluate_many(batch), parallel.evaluate_many(batch)):
+                assert a.scheme.identifier == b.scheme.identifier
+                assert a.accuracy == b.accuracy
+                assert a.params == b.params
+                assert a.flops == b.flops
+            assert serial.total_cost == parallel.total_cost
+
+
+# --------------------------------------------------------------------------- #
+# Allocation pressure drops on the planned path
+# --------------------------------------------------------------------------- #
+def _count_numpy_allocations(fn) -> int:
+    """Calls to the numpy allocator entry points while ``fn`` runs."""
+    names = ("pad", "zeros", "empty", "zeros_like", "empty_like")
+    originals = {name: getattr(np, name) for name in names}
+    counter = {"calls": 0}
+
+    def wrap(original):
+        def counting(*args, **kwargs):
+            counter["calls"] += 1
+            return original(*args, **kwargs)
+
+        return counting
+
+    try:
+        for name, original in originals.items():
+            setattr(np, name, wrap(original))
+        fn()
+    finally:
+        for name, original in originals.items():
+            setattr(np, name, original)
+    return counter["calls"]
+
+
+class TestAllocationCounts:
+    @pytest.fixture()
+    def model_and_data(self, rng):
+        from repro.models import resnet8
+
+        model = resnet8(num_classes=4)
+        x = rng.normal(size=(4, 3, 8, 8))
+        return model, x
+
+    def test_inference_allocations_drop(self, model_and_data):
+        model, x = model_and_data
+        model.eval()
+
+        def infer():
+            with no_grad():
+                model(Tensor(x))
+
+        clear_plans()
+        infer()  # warm: build plans, grow the arena
+        with no_plans():
+            infer()
+        planned = _count_numpy_allocations(infer)
+        with no_plans():
+            reference = _count_numpy_allocations(infer)
+        assert reference > 0
+        # Steady-state planned inference never touches the allocator: pads,
+        # patch matrices and scratch all come out of the warm arena.
+        assert planned == 0, f"planned inference made {planned} allocator calls"
+
+    def test_train_step_allocations_drop(self, model_and_data):
+        model, x = model_and_data
+        model.eval()  # keep BN running stats fixed so both paths see one state
+
+        def step():
+            for p in model.parameters():
+                p.zero_grad()
+            model(Tensor(x)).sum().backward()
+
+        clear_plans()
+        step()
+        with no_plans():
+            step()
+        planned = _count_numpy_allocations(step)
+        with no_plans():
+            reference = _count_numpy_allocations(step)
+        # The backward still owns its escaping gradients (owned_* helpers),
+        # so the planned count is nonzero — but the per-call pad/cols/dxp
+        # scratch is gone.
+        assert planned < reference, (
+            f"planned train step allocates as much as the reference "
+            f"({planned} vs {reference})"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Runtime metrics surface
+# --------------------------------------------------------------------------- #
+class TestRuntimeMetrics:
+    def test_plan_cache_and_workspace_stats(self, rng):
+        from repro.models import resnet8
+
+        model = resnet8(num_classes=4).eval()
+        x = rng.normal(size=(2, 3, 8, 8))
+        clear_plans()
+        with no_grad():
+            model(Tensor(x))
+            first = plan_cache_stats()
+            model(Tensor(x))
+            second = plan_cache_stats()
+        assert first["misses"] > 0  # cold run built every plan
+        assert second["hits"] > first["hits"]  # warm run reused them
+        assert second["misses"] == first["misses"]
+        assert second["size"] == first["misses"]
+        assert workspace_stats()["bytes_peak"] > 0
+
+
+# --------------------------------------------------------------------------- #
+# Benchmarks -> BENCH_workspace.json (+ regression gates at full sizes)
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def bench_results():
+    return run_workspace_benchmarks(smoke=SMOKE, repeats=3 if SMOKE else 5)
+
+
+def test_workspace_benchmarks_emit_report(bench_results):
+    report = build_workspace_report(bench_results, smoke=SMOKE)
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / "BENCH_workspace.json"
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {path}")
+    for name, seconds in bench_results.items():
+        print(f"  {name:<26} {seconds:.6f}s")
+    assert set(bench_results) >= set(PRE_PLANS_BASELINE)
+    assert all(seconds > 0 for seconds in bench_results.values())
+
+
+@pytest.mark.skipif(SMOKE, reason="smoke sizes are not comparable to the baseline")
+@pytest.mark.parametrize(
+    "workload,required",
+    [("resnet56_step", 1.3), ("inference_batch", 1.5)],
+)
+def test_speedup_vs_pre_plan_baseline(bench_results, workload, required):
+    """The PR's headline: >= 1.3x train step, >= 1.5x inference batch."""
+    speedup = PRE_PLANS_BASELINE[workload] / bench_results[workload]
+    assert speedup >= required, (
+        f"{workload} regressed: {speedup:.2f}x vs the committed pre-plan "
+        f"baseline ({PRE_PLANS_BASELINE[workload]:.4f}s -> "
+        f"{bench_results[workload]:.4f}s, need >= {required}x)"
+    )

@@ -110,6 +110,13 @@ def cmd_search(args) -> int:
                 f"params {stats['drift_params_pct']:.2f}%, "
                 f"flops {stats['drift_flops_pct']:.2f}% (mean absolute)"
             )
+        if stats.get("act_mem_evals"):
+            peak = stats.get("workspace_bytes_peak", 0.0)
+            print(
+                f"activation-memory drift over {stats['act_mem_evals']:.0f} "
+                f"latency probes: {stats['drift_act_mem_pct']:.2f}% "
+                f"(workspace peak {peak / 1024.0:.0f} KiB)"
+            )
         if stats.get("weight_bits_mismatches"):
             print(
                 f"weight-bits drift: {stats['weight_bits_mismatches']:.0f} "
@@ -402,14 +409,20 @@ def cmd_bench(args) -> int:
     from .nn.bench import (
         build_quant_report,
         build_report,
+        build_workspace_report,
         format_report,
         load_baseline,
         run_kernel_benchmarks,
         run_quant_benchmarks,
+        run_workspace_benchmarks,
     )
 
     if args.suite == "quant":
         results = run_quant_benchmarks(
+            smoke=args.smoke, repeats=args.repeats, seed=args.seed
+        )
+    elif args.suite == "workspace":
+        results = run_workspace_benchmarks(
             smoke=args.smoke, repeats=args.repeats, seed=args.seed
         )
     else:
@@ -431,10 +444,14 @@ def cmd_bench(args) -> int:
         report = build_report(
             results, smoke=args.smoke, baseline=baseline, description=description,
             suite=("repro.nn quantized inference" if args.suite == "quant"
+                   else "repro.nn kernel plans + workspace arena"
+                   if args.suite == "workspace"
                    else "repro.nn kernel microbenchmarks"),
         )
     elif args.suite == "quant":
         report = build_quant_report(results, smoke=args.smoke)
+    elif args.suite == "workspace":
+        report = build_workspace_report(results, smoke=args.smoke)
     else:
         report = build_report(results, smoke=args.smoke)
     if args.output:
@@ -776,11 +793,16 @@ def build_parser() -> argparse.ArgumentParser:
                     "committed pre-fast-path baseline (see benchmarks/BENCH_nn.json "
                     "and docs/performance.md).  --suite quant times float32 vs "
                     "fp16 vs int8 inference on the same model "
-                    "(benchmarks/BENCH_quant.json, docs/quantization.md).",
+                    "(benchmarks/BENCH_quant.json, docs/quantization.md).  "
+                    "--suite workspace times the kernel-plan/workspace path "
+                    "against plans-off and the committed pre-plan baseline "
+                    "(benchmarks/BENCH_workspace.json).",
     )
-    p.add_argument("--suite", choices=["nn", "quant"], default="nn",
+    p.add_argument("--suite", choices=["nn", "quant", "workspace"], default="nn",
                    help="'nn' = hot-path kernels vs the committed baseline; "
-                        "'quant' = quantized inference vs the float32 path")
+                        "'quant' = quantized inference vs the float32 path; "
+                        "'workspace' = kernel plans on/off vs the pre-plan "
+                        "baseline")
     p.add_argument("--smoke", action="store_true",
                    help="tiny shapes for CI; numbers not comparable to baseline")
     p.add_argument("--repeats", type=int, default=5,

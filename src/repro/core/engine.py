@@ -482,6 +482,7 @@ class ResultCache:
             step_reports=[StepReport(**r) for r in payload["step_reports"]],
             step_costs=list(payload["step_costs"]),
             latency_ms=payload.get("latency_ms", 0.0),
+            workspace_bytes_peak=payload.get("workspace_bytes_peak", 0),
         )
 
     def put(self, result: EvaluationResult) -> None:
@@ -497,6 +498,7 @@ class ResultCache:
             "step_costs": result.step_costs,
             "step_reports": [asdict(r) for r in result.step_reports],
             "latency_ms": result.latency_ms,
+            "workspace_bytes_peak": result.workspace_bytes_peak,
         }
         self.written_ids.add(result.scheme.identifier)
         path = self._path(result.scheme.identifier)
@@ -882,8 +884,19 @@ class EvaluationEngine:
                 )
                 span.add_cost(cost)
                 span.set(params=result.params, pr=result.pr, accuracy=result.accuracy)
+                if result.workspace_bytes_peak:
+                    span.set(workspace_bytes_peak=result.workspace_bytes_peak)
                 tracer.finish(span)
                 tracer.metrics.counter("evaluations.fresh").inc()
+            if result.workspace_bytes_peak > evaluator.workspace_bytes_peak:
+                # Workers measured the scratch footprint in their own
+                # process; fold the max back so prediction_drift() and the
+                # report see engine runs too.
+                evaluator.workspace_bytes_peak = result.workspace_bytes_peak
+                if tracer.enabled:
+                    tracer.metrics.gauge("nn.workspace_bytes_peak").set(
+                        float(result.workspace_bytes_peak)
+                    )
             evaluator.results[scheme.identifier] = result
             evaluator.total_cost += cost
             evaluator.evaluation_count += 1

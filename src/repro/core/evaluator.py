@@ -94,6 +94,11 @@ class EvaluationResult:
     #: measured median wall-clock per inference batch (ms); 0.0 when latency
     #: measurement is disabled (``config.latency_batch`` unset)
     latency_ms: float = 0.0
+    #: peak workspace-arena bytes held while running the latency probe on
+    #: the compressed model (0 when latency measurement is disabled) — the
+    #: *measured* scratch footprint cross-checked against the cost model's
+    #: act_mem prediction
+    workspace_bytes_peak: int = 0
 
     @property
     def pr(self) -> float:
@@ -160,6 +165,12 @@ class SchemeEvaluator:
         self.predicted_evals = 0
         self.drift_params_pct_sum = 0.0
         self.drift_flops_pct_sum = 0.0
+        #: act-mem drift: measured workspace peak vs predicted activation
+        #: bytes (only accumulated when the latency probe measures a peak)
+        self.act_mem_evals = 0
+        self.drift_act_mem_pct_sum = 0.0
+        #: largest workspace footprint any evaluated scheme reached
+        self.workspace_bytes_peak = 0
         #: evaluations whose predicted weight_bits != executed effective bits
         self.weight_bits_mismatches = 0
         #: evaluations whose *measured* latency exceeded budget.max_latency_ms
@@ -291,18 +302,35 @@ class SchemeEvaluator:
                 self.tracer.metrics.counter("snapshot.misses").inc()
         return 0, None
 
-    def _measure_latency(self, model: Module) -> float:
-        """Median wall-clock ms per inference batch, or 0.0 when disabled."""
+    def _measure_latency(self, model: Module) -> Tuple[float, int]:
+        """``(median ms per inference batch, workspace bytes peak)``.
+
+        Both zero when latency measurement is disabled.  The workspace is
+        cleared before the probe so the peak is *this* model's scratch
+        footprint at the probe batch size (the arena is grow-only, so
+        without the clear it would report the largest model ever run on the
+        thread); the probe's warm-up forward repopulates the buffers before
+        anything is timed.
+        """
         batch = self.config.latency_batch
         if not batch:
-            return 0.0
+            return 0.0, 0
         from ..nn.bench import measure_latency
+        from ..nn.workspace import (
+            clear_workspace,
+            reset_workspace_peak,
+            workspace_stats,
+        )
 
         input_shape = getattr(self, "_input_shape", (3, 32, 32))
+        clear_workspace()
+        reset_workspace_peak()
         if self.tracer.enabled:
             with self.tracer.span("latency.measure", batch=batch):
-                return measure_latency(model, input_shape, batch=batch, seed=self.seed)
-        return measure_latency(model, input_shape, batch=batch, seed=self.seed)
+                ms = measure_latency(model, input_shape, batch=batch, seed=self.seed)
+        else:
+            ms = measure_latency(model, input_shape, batch=batch, seed=self.seed)
+        return ms, int(workspace_stats()["bytes_peak"])
 
     def _longest_paid_prefix(self, scheme: CompressionScheme) -> int:
         """Longest proper prefix whose evaluation is already in ``results``."""
@@ -482,6 +510,20 @@ class SchemeEvaluator:
                 executed_bits = float(bits)
         if float(prediction.weight_bits) != executed_bits:
             self.weight_bits_mismatches += 1
+        # Act-mem drift: the latency probe measures the real scratch
+        # footprint (workspace arena peak, batch latency_batch); the cost
+        # model predicts per-sample peak activation bytes.  The gap exposes
+        # what the static model cannot see — im2col scratch amplification.
+        act_mem_pct = None
+        if result.workspace_bytes_peak > 0 and self.config.latency_batch:
+            predicted_act = prediction.act_mem * self.config.latency_batch
+            act_mem_pct = (
+                100.0
+                * abs(predicted_act - result.workspace_bytes_peak)
+                / max(result.workspace_bytes_peak, 1)
+            )
+            self.act_mem_evals += 1
+            self.drift_act_mem_pct_sum += act_mem_pct
         if span is not None:
             span.set(
                 predicted_params=prediction.params,
@@ -489,6 +531,11 @@ class SchemeEvaluator:
                 drift_params_pct=round(params_pct, 3),
                 drift_flops_pct=round(flops_pct, 3),
             )
+            if act_mem_pct is not None:
+                span.set(
+                    predicted_act_mem=prediction.act_mem,
+                    drift_act_mem_pct=round(act_mem_pct, 3),
+                )
 
     def prediction_drift(self) -> Dict[str, float]:
         """Mean absolute predicted-vs-measured drift over fresh evaluations."""
@@ -498,12 +545,20 @@ class SchemeEvaluator:
             "drift_params_pct": self.drift_params_pct_sum / count,
             "drift_flops_pct": self.drift_flops_pct_sum / count,
             "weight_bits_mismatches": float(self.weight_bits_mismatches),
+            "act_mem_evals": float(self.act_mem_evals),
+            "drift_act_mem_pct": (
+                self.drift_act_mem_pct_sum / max(self.act_mem_evals, 1)
+            ),
+            "workspace_bytes_peak": float(self.workspace_bytes_peak),
         }
 
     def _evaluate_recorded(self, scheme: CompressionScheme) -> EvaluationResult:
         """Run ``_evaluate`` and fold the result into the bookkeeping."""
+        from ..nn.workspace import plan_cache_stats
+
         tracer = self.tracer
         if tracer.enabled:
+            plans_before = plan_cache_stats()
             with tracer.span("evaluate", scheme=scheme.identifier, steps=scheme.length) as span:
                 result = self._evaluate(scheme)
                 # one charged evaluation == one `evaluate` span carrying its
@@ -511,11 +566,25 @@ class SchemeEvaluator:
                 span.add_cost(result.cost)
                 span.set(params=result.params, pr=result.pr, accuracy=result.accuracy)
                 self._record_prediction(result, span)
+                plans_after = plan_cache_stats()
+                plan_hits = plans_after["hits"] - plans_before["hits"]
+                plan_misses = plans_after["misses"] - plans_before["misses"]
+                span.set(plan_cache_hits=plan_hits, plan_cache_misses=plan_misses)
+                if result.workspace_bytes_peak:
+                    span.set(workspace_bytes_peak=result.workspace_bytes_peak)
             tracer.metrics.counter("evaluations.fresh").inc()
+            tracer.metrics.counter("nn.plan_cache_hits").inc(plan_hits)
+            tracer.metrics.counter("nn.plan_cache_misses").inc(plan_misses)
         else:
             result = self._evaluate(scheme)
             if self.budget is not None:
                 self._record_prediction(result)
+        if result.workspace_bytes_peak > self.workspace_bytes_peak:
+            self.workspace_bytes_peak = result.workspace_bytes_peak
+            if tracer.enabled:
+                tracer.metrics.gauge("nn.workspace_bytes_peak").set(
+                    float(result.workspace_bytes_peak)
+                )
         budget = self.budget
         if (
             budget is not None
@@ -653,6 +722,7 @@ class TrainingEvaluator(SchemeEvaluator):
         accuracy = evaluate_accuracy(model, self.val_data)
         if not scheme.is_empty:
             self._cache_model(scheme.identifier, model, accuracy, reports, step_costs)
+        latency_ms, ws_peak = self._measure_latency(model)
         return EvaluationResult(
             scheme=scheme,
             params=profile.params,
@@ -664,7 +734,8 @@ class TrainingEvaluator(SchemeEvaluator):
             cost=self._charge(scheme, step_costs),
             step_reports=reports,
             step_costs=step_costs,
-            latency_ms=self._measure_latency(model),
+            latency_ms=latency_ms,
+            workspace_bytes_peak=ws_peak,
         )
 
 
@@ -767,6 +838,7 @@ class SurrogateEvaluator(SchemeEvaluator):
         profile = profile_model(model, self._input_shape)
         if not scheme.is_empty:
             self._cache_model(scheme.identifier, model, accuracy_pct, reports, step_costs)
+        latency_ms, ws_peak = self._measure_latency(model)
         return EvaluationResult(
             scheme=scheme,
             params=profile.params,
@@ -778,5 +850,6 @@ class SurrogateEvaluator(SchemeEvaluator):
             cost=self._charge(scheme, step_costs),
             step_reports=reports,
             step_costs=step_costs,
-            latency_ms=self._measure_latency(model),
+            latency_ms=latency_ms,
+            workspace_bytes_peak=ws_peak,
         )

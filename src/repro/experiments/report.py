@@ -54,9 +54,9 @@ def format_attribution(search_results: Dict[str, Dict[str, SearchResult]]) -> st
         "Search attribution (wall-clock vs simulated cost)",
         "",
         f"{'experiment':<8s} {'algorithm':<10s} {'wall[s]':>9s} {'evals':>7s} "
-        f"{'sim[h]':>8s} {'sec/eval':>9s} {'pruned':>7s} {'dP%':>6s} {'dF%':>6s}"
-        f"  engine",
-        "-" * 72,
+        f"{'sim[h]':>8s} {'sec/eval':>9s} {'pruned':>7s} {'dP%':>6s} {'dF%':>6s} "
+        f"{'dA%':>6s}  engine",
+        "-" * 79,
     ]
     any_budget = False
     for exp_name in sorted(search_results):
@@ -81,13 +81,18 @@ def format_attribution(search_results: Dict[str, Dict[str, SearchResult]]) -> st
                 )
                 drift_p = f"{stats.get('drift_params_pct', 0.0):.2f}"
                 drift_f = f"{stats.get('drift_flops_pct', 0.0):.2f}"
+                drift_a = (
+                    f"{stats.get('drift_act_mem_pct', 0.0):.2f}"
+                    if stats.get("act_mem_evals")
+                    else "-"
+                )
             else:
-                pruned, drift_p, drift_f = "-", "-", "-"
+                pruned, drift_p, drift_f, drift_a = "-", "-", "-", "-"
             lines.append(
                 f"{exp_name:<8s} {algo:<10s} {result.wall_seconds:>9.2f} "
                 f"{result.evaluations:>7d} {result.total_cost:>8.2f} "
-                f"{per_eval:>9.4f} {pruned:>7s} {drift_p:>6s} {drift_f:>6s}"
-                f"  {engine}"
+                f"{per_eval:>9.4f} {pruned:>7s} {drift_p:>6s} {drift_f:>6s} "
+                f"{drift_a:>6s}  {engine}"
             )
     lines.append("")
     lines.append(
@@ -98,7 +103,9 @@ def format_attribution(search_results: Dict[str, Dict[str, SearchResult]]) -> st
         lines.append(
             "pruned = candidates eliminated by the static cost model at zero "
             "cost; dP%/dF% = mean absolute predicted-vs-measured drift of the "
-            "cost model on evaluated schemes (params / FLOPs)."
+            "cost model on evaluated schemes (params / FLOPs); dA% = drift of "
+            "the predicted activation memory vs the measured kernel-workspace "
+            "peak during the latency probe."
         )
     return "\n".join(lines)
 

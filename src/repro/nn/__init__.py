@@ -8,6 +8,9 @@ Public surface:
 * optimizers and LR schedules
 * :class:`~repro.nn.train.Trainer` / :func:`evaluate_accuracy`
 * :func:`~repro.nn.profile.profile_model` — P(M) and F(M) measurement
+* :mod:`repro.nn.workspace` — shape-specialized kernel plans and the
+  thread-local workspace arena (``plan_cache_stats`` / ``clear_plans`` /
+  ``workspace_stats`` / ``no_plans``)
 """
 
 from . import functional, init, losses
@@ -50,6 +53,16 @@ from .tensor import (
     where,
 )
 from .train import Trainer, TrainReport, evaluate_accuracy
+from .workspace import (
+    Workspace,
+    clear_plans,
+    clear_workspace,
+    no_plans,
+    plan_cache_stats,
+    plans_enabled,
+    reset_workspace_peak,
+    workspace_stats,
+)
 
 __all__ = [
     "AvgPool2d",
@@ -76,7 +89,10 @@ __all__ = [
     "Tensor",
     "Trainer",
     "TrainReport",
+    "Workspace",
     "calibrate_module",
+    "clear_plans",
+    "clear_workspace",
     "concat",
     "confusion_matrix",
     "count_flops",
@@ -88,7 +104,11 @@ __all__ = [
     "get_default_dtype",
     "is_grad_enabled",
     "no_grad",
+    "no_plans",
     "per_class_accuracy",
+    "plan_cache_stats",
+    "plans_enabled",
+    "reset_workspace_peak",
     "set_default_dtype",
     "top_k_accuracy",
     "functional",
@@ -102,4 +122,5 @@ __all__ = [
     "save_model",
     "stack",
     "where",
+    "workspace_stats",
 ]

@@ -16,6 +16,14 @@ Schema (version 1) — every record carries ``"v": 1``:
            attributed to the span (0.0 for all but ``evaluate`` spans).
 ``event``  ``{"v", "type": "event", "name", "parent", "t", "attrs"}``
 
+``evaluate`` spans may carry kernel-runtime attributes in ``attrs`` —
+``plan_cache_hits`` / ``plan_cache_misses`` (shape-specialized plan cache
+traffic during that evaluation) and ``workspace_bytes_peak`` (the arena
+high-water mark measured by the latency probe), plus ``predicted_act_mem``
+/ ``drift_act_mem_pct`` when the cost model made an activation-memory
+prediction.  These are ordinary attrs under the existing forward-compat
+contract; no schema bump is needed.
+
 Forward compatibility: readers must ignore record types and fields they do
 not recognise, and must skip unparseable lines rather than fail — a newer
 writer or a truncated final line should never make an old journal
